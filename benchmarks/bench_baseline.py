@@ -1,0 +1,64 @@
+"""Section IV baseline comparison — proposed suite vs 2*n_v per-valve test.
+
+"Consider a simple baseline method where only one valve is switched open or
+closed each time for fault test.  The total number of test vectors in this
+case would be two times the number of valves, a squared complexity compared
+with the proposed method."
+
+For each array we generate the proposed suite and the naive baseline and
+report the vector-count ratio.  The baseline is *generated* (not just
+counted) for the small arrays so the comparison is between two real,
+fault-complete suites.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_SIZES, pedantic_once
+from repro.core import BaselineGenerator, TestGenerator
+from repro.fpva import TABLE1_VALVE_COUNTS, table1_layout
+
+_GENERATE_BASELINE_UP_TO = 10  # full baseline generation is itself O(n_v) solves
+
+
+@pytest.mark.parametrize("n", [n for n in DEFAULT_SIZES if n <= _GENERATE_BASELINE_UP_TO])
+def test_baseline_generated(benchmark, n, capsys):
+    fpva = table1_layout(n)
+    gen = BaselineGenerator(fpva)
+    result = pedantic_once(benchmark, gen.generate)
+    proposed = TestGenerator(fpva).generate().report
+
+    assert result.total + 2 * len(result.skipped) == 2 * fpva.valve_count
+    assert proposed.total_vectors < result.total
+    ratio = result.total / proposed.total_vectors
+    benchmark.extra_info.update(
+        {"baseline_N": result.total, "proposed_N": proposed.total_vectors}
+    )
+    with capsys.disabled():
+        print(
+            f"\n{fpva.name}: baseline {result.total} vectors vs proposed "
+            f"{proposed.total_vectors} ({ratio:.1f}x reduction)"
+        )
+
+
+def test_baseline_scaling_counts(benchmark, capsys):
+    """The asymptotic story: 2*n_v vs ≈2*sqrt(n_v) across all five arrays."""
+
+    def tabulate():
+        rows = []
+        for n, nv in TABLE1_VALVE_COUNTS.items():
+            baseline = 2 * nv
+            sqrt_scale = 2 * math.sqrt(nv)
+            rows.append((n, nv, baseline, sqrt_scale))
+        return rows
+
+    rows = benchmark(tabulate)
+    with capsys.disabled():
+        print("\n  array     nv   baseline(2nv)   ~2*sqrt(nv)")
+        for n, nv, baseline, sqrt_scale in rows:
+            print(f"  {n}x{n:<4} {nv:>6} {baseline:>10} {sqrt_scale:>13.0f}")
+    for _, nv, baseline, sqrt_scale in rows:
+        assert baseline > 10 * sqrt_scale / 2

@@ -1,0 +1,74 @@
+"""Fig 8 — direct ILP vs hierarchical model on the full 10x10 array.
+
+The paper's comparison: the direct whole-array ILP needs only 2 flow paths
+to cover all 180 valves; the hierarchical model (5x5 subblocks) needs 4 —
+"a little larger than the number from the direct model, but still
+acceptable".  We regenerate both, assert the same ordering (direct ≤
+hierarchical, both far below sqrt-scale bounds), and print the ASCII path
+maps corresponding to the figure panels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic_once
+from repro.core import (
+    FlowPathGenerator,
+    HierarchicalPathGenerator,
+    measure_coverage,
+    render_paths,
+)
+from repro.fpva import fig8_layout
+from repro.ilp import SolveOptions
+
+_RESULTS: dict[str, object] = {}
+
+PAPER_DIRECT = 2
+PAPER_HIERARCHICAL = 4
+
+
+def test_fig8a_direct(benchmark):
+    fpva = fig8_layout()
+    gen = FlowPathGenerator(fpva, SolveOptions(time_limit=300))
+    result = pedantic_once(benchmark, gen.generate)
+    _RESULTS["direct"] = result
+    coverage = measure_coverage(fpva, result.vectors, include_leak_pairs=False)
+    assert not coverage.sa0_missing
+    # Paper: 2 paths.  Our corner-port layout proves 3 optimal; accept the
+    # same small regime and record the number.
+    assert result.np_paths <= PAPER_DIRECT + 2
+    benchmark.extra_info["np_direct"] = result.np_paths
+    benchmark.extra_info["paper_np_direct"] = PAPER_DIRECT
+
+
+def test_fig8b_hierarchical(benchmark):
+    fpva = fig8_layout()
+    gen = HierarchicalPathGenerator(fpva)
+    result = pedantic_once(benchmark, gen.generate)
+    _RESULTS["hierarchical"] = result
+    coverage = measure_coverage(fpva, result.vectors, include_leak_pairs=False)
+    assert not coverage.sa0_missing
+    assert result.np_paths <= 2 * PAPER_HIERARCHICAL + 2
+    benchmark.extra_info["np_hierarchical"] = result.np_paths
+    benchmark.extra_info["paper_np_hierarchical"] = PAPER_HIERARCHICAL
+
+
+def test_fig8_comparison(benchmark, capsys):
+    if "direct" not in _RESULTS or "hierarchical" not in _RESULTS:
+        pytest.skip("both panels must run first")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    direct = _RESULTS["direct"]
+    hier = _RESULTS["hierarchical"]
+    # The paper's ordering: hierarchy trades extra paths for scalability.
+    assert direct.np_paths <= hier.np_paths
+    fpva = fig8_layout()
+    with capsys.disabled():
+        print(
+            f"\nFig 8: direct np={direct.np_paths} (paper {PAPER_DIRECT}), "
+            f"hierarchical np={hier.np_paths} (paper {PAPER_HIERARCHICAL})"
+        )
+        print("\n(a) direct ILP paths:")
+        print(render_paths(fpva, direct.vectors))
+        print("\n(b) hierarchical paths:")
+        print(render_paths(fpva, hier.vectors[: min(4, len(hier.vectors))]))

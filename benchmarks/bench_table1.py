@@ -1,0 +1,94 @@
+"""Table I — test-vector generation for the five benchmark arrays.
+
+Regenerates every column of the paper's Table I: n_p (flow paths), n_c
+(cut-sets), n_l (control-leakage vectors), N, and the generation runtimes.
+
+Absolute runtimes are not comparable (paper: C++ + commercial ILP solver,
+2017 hardware), but the shape assertions encode the paper's claims:
+
+* every valve is covered by the suite;
+* N is O(sqrt(n_v)) — "roughly two times the square root of the number of
+  valves" — and far below the 2*n_v baseline;
+* n_c equals n_r + n_c - 2 on these layouts.
+
+Run with ``REPRO_BENCH_FULL=1`` to include the 20x20 and 30x30 arrays.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import DEFAULT_SIZES, pedantic_once
+from repro.core import TestGenerator, measure_coverage
+from repro.fpva import TABLE1_PAPER, table1_layout
+
+_PAPER = {int(row.dimension.split("x")[0]): row for row in TABLE1_PAPER}
+_RESULTS: dict[int, object] = {}
+
+
+@pytest.mark.parametrize("n", DEFAULT_SIZES)
+def test_table1_row(benchmark, n):
+    fpva = table1_layout(n)
+    # Table I uses the hierarchical model with 5x5 subblocks throughout
+    # (the 5x5 array's "1x1" top level degenerates to the direct model).
+    strategy = "direct" if n == 5 else "hierarchical"
+
+    def generate():
+        return TestGenerator(fpva, path_strategy=strategy).generate()
+
+    result = pedantic_once(benchmark, generate)
+    _RESULTS[n] = result
+    report = result.report
+    paper = _PAPER[n]
+
+    # Structural reproduction checks.
+    assert report.nv == paper.nv
+    coverage = measure_coverage(
+        fpva, result.testset.all_vectors(), include_leak_pairs=False
+    )
+    assert coverage.complete_stuck_at, coverage.summary()
+
+    # Shape: N = O(sqrt(n_v)); the paper reports N ≈ 2*sqrt(n_v).
+    assert report.total_vectors <= 4 * math.sqrt(report.nv) + 10
+    assert report.total_vectors < 2 * report.nv / 3
+
+    # Cut-sets: straight row/column walls → n_r + n_c - 2, Table I exactly.
+    assert report.nc_cuts == paper.nc_cuts
+
+    benchmark.extra_info.update(
+        {
+            "np": report.np_paths,
+            "nc": report.nc_cuts,
+            "nl": report.nl_leak,
+            "N": report.total_vectors,
+            "paper_np": paper.np_paths,
+            "paper_nc": paper.nc_cuts,
+            "paper_nl": paper.nl_leak,
+            "paper_N": paper.total_vectors,
+        }
+    )
+
+
+def test_print_table(benchmark, capsys):
+    """Print the reproduced Table I next to the published one."""
+    if not _RESULTS:
+        pytest.skip("row benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        "",
+        "Table I reproduction (measured vs paper):",
+        f"{'array':>8} {'nv':>5} | {'np':>4} {'nc':>4} {'nl':>4} {'N':>4} "
+        f"| {'paper np':>8} {'nc':>4} {'nl':>4} {'N':>4}",
+    ]
+    for n in sorted(_RESULTS):
+        rep = _RESULTS[n].report
+        paper = _PAPER[n]
+        lines.append(
+            f"{rep.array:>8} {rep.nv:>5} | {rep.np_paths:>4} {rep.nc_cuts:>4} "
+            f"{rep.nl_leak:>4} {rep.total_vectors:>4} | {paper.np_paths:>8} "
+            f"{paper.nc_cuts:>4} {paper.nl_leak:>4} {paper.total_vectors:>4}"
+        )
+    with capsys.disabled():
+        print("\n".join(lines))

@@ -1,0 +1,36 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1``  — include the large (20x20 / 30x30) arrays in the
+  Table I and fault-injection benches (several minutes).
+* ``REPRO_BENCH_TRIALS`` — fault-injection trials per configuration
+  (default 100; the paper used 10 000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "100"))
+
+#: Sizes benchmarked by default vs. under REPRO_BENCH_FULL=1.
+DEFAULT_SIZES = (5, 10, 15, 20, 30) if FULL else (5, 10, 15)
+
+
+def pedantic_once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight target exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return DEFAULT_SIZES
+
+
+@pytest.fixture(scope="session")
+def trials():
+    return TRIALS

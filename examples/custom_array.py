@@ -1,0 +1,65 @@
+"""Testing a custom irregular FPVA: obstacles, channels, multiple meters.
+
+Builds an array that does not exist in the paper — a 12x12 FPVA with an
+off-centre obstacle block, two transport channels and two pressure meters —
+and walks the full flow: generate, validate, measure coverage, audit the
+two-fault guarantee, and render the artifacts.
+
+    python examples/custom_array.py
+"""
+
+from repro import (
+    FPVABuilder,
+    Side,
+    TestGenerator,
+    audit_two_fault_detection,
+    measure_coverage,
+    render_array,
+    validate_suite,
+)
+from repro.fpva import Cell
+
+
+def build_chip():
+    return (
+        FPVABuilder(12, 12, name="lab-on-chip")
+        .obstacle_rect(5, 5, 6, 7)          # sensor window: no valves here
+        .channel(Cell(2, 3), "east", 4)     # permanent supply channel
+        .channel(Cell(9, 8), "south", 2)    # permanent waste channel
+        .source(Side.WEST, 1)
+        .sink(Side.EAST, 12, name="meter-se")
+        .sink(Side.SOUTH, 4, name="meter-s")
+        .build()
+    )
+
+
+def main() -> None:
+    fpva = build_chip()
+    print(fpva.describe())
+    print(render_array(fpva))
+    print()
+
+    generated = TestGenerator(fpva, path_strategy="hierarchical", subblock=4).generate()
+    suite = generated.testset
+    print("generation:", generated.report.row())
+
+    # Independent validation: every vector legal, every fault observed.
+    report = validate_suite(fpva, suite.all_vectors(), check_pair_coverage=True)
+    print(f"suite validation: {'OK' if report.ok else report.issues[:3]}")
+
+    coverage = measure_coverage(fpva, suite.all_vectors())
+    print("coverage:", coverage.summary())
+
+    # The paper's guarantee: any two simultaneous faults are detected.
+    audit = audit_two_fault_detection(
+        fpva, suite.all_vectors(), include_control_leaks=False, max_pairs=2000
+    )
+    print(
+        f"two-fault audit: {audit.singles_checked} singles, "
+        f"{audit.pairs_checked} pairs checked -> "
+        f"{'all detected' if audit.ok else audit.pairs_missed[:3]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

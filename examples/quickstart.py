@@ -1,0 +1,54 @@
+"""Quickstart: generate a test suite, screen a faulty chip, read the report.
+
+Runs on the paper's 5x5 benchmark array (39 valves, one transport channel).
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ChipUnderTest,
+    StuckAt0,
+    StuckAt1,
+    TestGenerator,
+    Tester,
+    render_array,
+    table1_layout,
+)
+
+
+def main() -> None:
+    # 1. The device under test: the paper's 5x5 Table I array.
+    fpva = table1_layout(5)
+    print(fpva.describe())
+    print(render_array(fpva))
+    print()
+
+    # 2. Generate the complete test suite: flow paths (stuck-at-0),
+    #    cut-sets (stuck-at-1) and control-leakage vectors.
+    generated = TestGenerator(fpva).generate()
+    suite = generated.testset
+    print("generation report:")
+    print(" ", generated.report.row())
+    print(" ", suite.summary())
+    print()
+
+    # 3. A defect-free chip passes every vector.
+    tester = Tester(fpva)
+    good = ChipUnderTest(fpva)
+    result = tester.run(good, suite.all_vectors())
+    print(f"defect-free chip: {len(result.outcomes)} vectors applied, "
+          f"fault detected: {result.fault_detected}")
+
+    # 4. A chip with manufacturing defects fails fast.
+    blocked = fpva.valves[7]   # a broken flow channel -> valve never opens
+    leaking = fpva.valves[20]  # a leaking flow channel -> valve never closes
+    bad = ChipUnderTest(fpva, [StuckAt0(blocked), StuckAt1(leaking)])
+    result = tester.run(bad, suite.all_vectors(), stop_at_first_fail=True)
+    first = result.failing[0]
+    print(f"faulty chip    : detected by vector {first.vector.name!r} "
+          f"({first.vector.kind.value}); expected {first.expected}, "
+          f"observed {first.observed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``  Generate a test suite for a benchmark or full array and print
+              (or save as JSON) the vectors.
+``table1``    Regenerate the paper's Table I rows.
+``show``      Render an array (optionally with its flow paths) as ASCII.
+``campaign``  Run a random fault-injection campaign against a generated
+              suite and report detection rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import TestGenerator, measure_coverage, render_array, render_paths
+from repro.fpva import TABLE1_SIZES, full_layout, table1_layout
+from repro.sim import run_sweep
+
+
+def _layout(args):
+    if args.full:
+        return full_layout(args.size, args.size)
+    if args.size in TABLE1_SIZES:
+        return table1_layout(args.size)
+    return full_layout(args.size, args.size)
+
+
+def _add_array_args(p):
+    p.add_argument("--size", type=int, default=5, help="array dimension n (n x n)")
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="use a plain full array instead of the Table I layout",
+    )
+
+
+def cmd_generate(args) -> int:
+    fpva = _layout(args)
+    generated = TestGenerator(fpva, path_strategy=args.strategy).generate()
+    print(generated.report.row())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(generated.testset.to_json())
+        print(f"wrote {generated.testset.total} vectors to {args.out}")
+    if args.coverage:
+        report = measure_coverage(fpva, generated.testset.all_vectors())
+        print("coverage:", report.summary())
+    return 0
+
+
+def cmd_table1(args) -> int:
+    sizes = [args.size] if args.size else list(TABLE1_SIZES)
+    for n in sizes:
+        fpva = table1_layout(n)
+        strategy = "direct" if n == 5 else "hierarchical"
+        generated = TestGenerator(fpva, path_strategy=strategy).generate()
+        print(generated.report.row())
+    return 0
+
+
+def cmd_show(args) -> int:
+    fpva = _layout(args)
+    print(fpva.describe())
+    if args.paths:
+        generated = TestGenerator(fpva, include_leakage=False).generate()
+        print(render_paths(fpva, generated.testset.flow_paths))
+    else:
+        print(render_array(fpva))
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    fpva = _layout(args)
+    suite = TestGenerator(fpva).generate().testset
+    print(suite.summary())
+    sweep = run_sweep(
+        fpva,
+        suite.all_vectors(),
+        fault_counts=tuple(range(1, args.max_faults + 1)),
+        trials=args.trials,
+        seed=args.seed,
+    )
+    failures = 0
+    for k, result in sorted(sweep.items()):
+        print(
+            f"  k={k}: {result.detected}/{result.trials} detected "
+            f"({result.detection_rate:.2%})"
+        )
+        failures += result.trials - result.detected
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FPVA test generation (Liu et al., DATE 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a full test suite")
+    _add_array_args(p)
+    p.add_argument("--strategy", default="auto",
+                   choices=["auto", "direct", "hierarchical", "greedy"])
+    p.add_argument("--out", help="write the suite as JSON to this path")
+    p.add_argument("--coverage", action="store_true",
+                   help="also measure observability-based fault coverage")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("table1", help="regenerate the paper's Table I")
+    p.add_argument("--size", type=int, choices=TABLE1_SIZES,
+                   help="only this array (default: all five)")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("show", help="render an array as ASCII")
+    _add_array_args(p)
+    p.add_argument("--paths", action="store_true",
+                   help="also generate and render the flow paths")
+    p.set_defaults(func=cmd_show)
+
+    p = sub.add_parser("campaign", help="random fault-injection campaign")
+    _add_array_args(p)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--max-faults", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_campaign)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

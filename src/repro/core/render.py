@@ -1,0 +1,111 @@
+"""ASCII rendering of arrays, flow paths and cut-set walls.
+
+Regenerates the visual content of the paper's Fig 8 and Fig 9: the array
+grid with obstacles (##), channels (= / ‖) and the valves opened by each
+path.  Cells are drawn on a doubled lattice so the edges between them can
+carry path/wall marks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.vectors import TestVector
+from repro.fpva.array import FPVA
+from repro.fpva.geometry import Cell, Edge, Orientation
+from repro.fpva.ports import Port
+
+
+def render_array(
+    fpva: FPVA,
+    open_valves: Iterable[Edge] = (),
+    wall_valves: Iterable[Edge] = (),
+) -> str:
+    """Draw the array; mark opened valves (- / |) and wall valves (x).
+
+    Legend: ``o`` cell, ``##`` obstacle, ``=``/``"`` channel (horizontal /
+    vertical), ``-``/``|`` opened valve, ``x`` closed wall valve, ``.``
+    untouched valve position, ``S``/``M`` source / meter port.
+    """
+    open_set = set(open_valves)
+    wall_set = set(wall_valves)
+    height = 2 * fpva.nr + 1
+    width = 2 * fpva.nc + 1
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(y: int, x: int, ch: str) -> None:
+        canvas[y][x] = ch
+
+    for r in range(1, fpva.nr + 1):
+        for c in range(1, fpva.nc + 1):
+            cell = Cell(r, c)
+            y, x = 2 * r - 1, 2 * c - 1
+            put(y, x, "#" if cell in fpva.obstacles else "o")
+
+    for edge in fpva.flow_edges:
+        (r1, c1), (r2, c2) = edge.a, edge.b
+        y = (2 * r1 - 1 + 2 * r2 - 1) // 2
+        x = (2 * c1 - 1 + 2 * c2 - 1) // 2
+        if edge in fpva.channels:
+            ch = "=" if edge.orientation is Orientation.HORIZONTAL else '"'
+        elif edge in wall_set:
+            ch = "x"
+        elif edge in open_set:
+            ch = "-" if edge.orientation is Orientation.HORIZONTAL else "|"
+        else:
+            ch = "."
+        put(y, x, ch)
+
+    for port in fpva.ports:
+        cell = fpva.port_cell(port)
+        y, x = 2 * cell.r - 1, 2 * cell.c - 1
+        dy, dx = {
+            "north": (-1, 0),
+            "south": (1, 0),
+            "west": (0, -1),
+            "east": (0, 1),
+        }[port.side.value]
+        put(y + dy, x + dx, "S" if port.is_source else "M")
+
+    return "\n".join("".join(row).rstrip() for row in canvas)
+
+
+def render_vector(fpva: FPVA, vector: TestVector) -> str:
+    """Render one vector: paths show opened valves, cuts show the wall."""
+    from repro.core.vectors import VectorKind
+
+    if vector.kind is VectorKind.CUT_SET:
+        wall = fpva.valve_set - vector.open_valves
+        return render_array(fpva, wall_valves=wall)
+    return render_array(fpva, open_valves=vector.open_valves)
+
+
+def render_paths(fpva: FPVA, vectors: Sequence[TestVector]) -> str:
+    """All paths, one panel per vector (the Fig 8 / Fig 9 style output)."""
+    panels = []
+    for vector in vectors:
+        panels.append(f"--- {vector.name} ({len(vector.open_valves)} valves) ---")
+        panels.append(render_vector(fpva, vector))
+    return "\n".join(panels)
+
+
+def coverage_map(fpva: FPVA, vectors: Sequence[TestVector]) -> str:
+    """Overlay of how many vectors open each valve (0-9, then '+')."""
+    counts: dict[Edge, int] = {v: 0 for v in fpva.valves}
+    for vector in vectors:
+        for valve in vector.open_valves:
+            counts[valve] += 1
+    height = 2 * fpva.nr + 1
+    width = 2 * fpva.nc + 1
+    canvas = [[" "] * width for _ in range(height)]
+    for r in range(1, fpva.nr + 1):
+        for c in range(1, fpva.nc + 1):
+            canvas[2 * r - 1][2 * c - 1] = (
+                "#" if Cell(r, c) in fpva.obstacles else "o"
+            )
+    for edge, n in counts.items():
+        (r1, c1), (r2, c2) = edge.a, edge.b
+        y = (2 * r1 - 1 + 2 * r2 - 1) // 2
+        x = (2 * c1 - 1 + 2 * c2 - 1) // 2
+        canvas[y][x] = str(n) if n < 10 else "+"
+    return "\n".join("".join(row).rstrip() for row in canvas)

@@ -1,0 +1,158 @@
+"""Top-level test generation facade.
+
+:class:`TestGenerator` produces the complete suite of one array — flow
+paths, cut-sets and control-leakage vectors — and reports the Table I
+columns (n_p, t_p, n_c, t_c, n_l, t_l, N, T).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.cutsets import CutSetGenerator
+from repro.core.heuristic import GreedyPathGenerator
+from repro.core.hierarchy import BlockGrid, HierarchicalPathGenerator
+from repro.core.leakage import LeakageGenerator
+from repro.core.paths import FlowPathGenerator
+from repro.core.vectors import TestSet
+from repro.fpva.array import FPVA
+from repro.ilp import SolveOptions
+
+PATH_STRATEGIES = ("auto", "direct", "hierarchical", "greedy")
+CUT_STRATEGIES = ("auto", "ilp", "sweep")
+
+#: Largest cell count for which the direct whole-array ILP is attempted in
+#: "auto" mode (the paper's direct model also stops being practical here).
+DIRECT_ILP_CELL_LIMIT = 100
+
+
+@dataclass
+class GenerationReport:
+    """Timings and counts in Table I's layout."""
+
+    array: str = ""
+    nv: int = 0
+    hierarchy: str = ""
+    np_paths: int = 0
+    tp_seconds: float = 0.0
+    nc_cuts: int = 0
+    tc_seconds: float = 0.0
+    nl_leak: int = 0
+    tl_seconds: float = 0.0
+
+    @property
+    def total_vectors(self) -> int:
+        return self.np_paths + self.nc_cuts + self.nl_leak
+
+    @property
+    def total_seconds(self) -> float:
+        return self.tp_seconds + self.tc_seconds + self.tl_seconds
+
+    def row(self) -> str:
+        return (
+            f"{self.array:>10}  nv={self.nv:5d}  {self.hierarchy:>5}  "
+            f"np={self.np_paths:3d} ({self.tp_seconds:6.1f}s)  "
+            f"nc={self.nc_cuts:3d} ({self.tc_seconds:6.1f}s)  "
+            f"nl={self.nl_leak:3d} ({self.tl_seconds:6.1f}s)  "
+            f"N={self.total_vectors:3d}  T={self.total_seconds:.1f}s"
+        )
+
+
+@dataclass
+class GeneratedSuite:
+    """A complete suite plus its generation report."""
+
+    testset: TestSet
+    report: GenerationReport
+
+
+class TestGenerator:
+    """Generates the full FPVA test suite."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(
+        self,
+        fpva: FPVA,
+        path_strategy: str = "auto",
+        cut_strategy: str = "auto",
+        subblock: int = 5,
+        solve_options: SolveOptions | None = None,
+        include_leakage: bool = True,
+        leakage_standalone: bool = True,
+    ):
+        if path_strategy not in PATH_STRATEGIES:
+            raise ValueError(f"path_strategy must be one of {PATH_STRATEGIES}")
+        if cut_strategy not in CUT_STRATEGIES:
+            raise ValueError(f"cut_strategy must be one of {CUT_STRATEGIES}")
+        self.fpva = fpva
+        self.path_strategy = path_strategy
+        self.cut_strategy = cut_strategy
+        self.subblock = subblock
+        self.solve_options = solve_options
+        self.include_leakage = include_leakage
+        self.leakage_standalone = leakage_standalone
+
+    def _resolve_path_strategy(self) -> str:
+        if self.path_strategy != "auto":
+            return self.path_strategy
+        cells = self.fpva.nr * self.fpva.nc
+        return "direct" if cells <= DIRECT_ILP_CELL_LIMIT else "hierarchical"
+
+    def generate(self) -> GeneratedSuite:
+        report = GenerationReport(
+            array=f"{self.fpva.nr}x{self.fpva.nc}",
+            nv=self.fpva.valve_count,
+            hierarchy=BlockGrid(self.fpva, self.subblock).hierarchy_label(),
+        )
+        testset = TestSet(fpva=self.fpva)
+
+        # Flow paths (n_p / t_p).
+        strategy = self._resolve_path_strategy()
+        t0 = time.perf_counter()
+        if strategy == "direct":
+            paths = FlowPathGenerator(
+                self.fpva, solve_options=self.solve_options
+            ).generate()
+            report.hierarchy = "1x1"
+        elif strategy == "hierarchical":
+            paths = HierarchicalPathGenerator(
+                self.fpva,
+                subblock=self.subblock,
+                solve_options=self.solve_options,
+            ).generate()
+        else:
+            paths = GreedyPathGenerator(self.fpva).generate()
+        report.tp_seconds = time.perf_counter() - t0
+        testset.flow_paths = paths.vectors
+        report.np_paths = len(paths.vectors)
+
+        # Cut-sets (n_c / t_c).
+        t0 = time.perf_counter()
+        cuts = CutSetGenerator(
+            self.fpva,
+            strategy=self.cut_strategy,
+            solve_options=self.solve_options,
+        ).generate()
+        report.tc_seconds = time.perf_counter() - t0
+        testset.cut_sets = cuts.vectors
+        report.nc_cuts = len(cuts.vectors)
+
+        # Control-layer leakage (n_l / t_l).
+        if self.include_leakage:
+            t0 = time.perf_counter()
+            leaks = LeakageGenerator(self.fpva).generate(
+                template_vectors=testset.flow_paths,
+                standalone=self.leakage_standalone,
+            )
+            report.tl_seconds = time.perf_counter() - t0
+            testset.leakage = leaks.vectors
+            report.nl_leak = len(leaks.vectors)
+
+        return GeneratedSuite(testset=testset, report=report)
+
+
+def generate_suite(fpva: FPVA, **kwargs) -> TestSet:
+    """One-call convenience: the full suite with default settings."""
+    return TestGenerator(fpva, **kwargs).generate().testset

@@ -1,0 +1,73 @@
+"""FPVA chip model: lattice geometry, arrays, layouts, graphs and devices."""
+
+from repro.fpva.array import FPVA, LayoutError
+from repro.fpva.builder import FPVABuilder
+from repro.fpva.components import EdgeKind, FaultClass, ValveState
+from repro.fpva.control import control_adjacent_pairs, neighbors_of
+from repro.fpva.devices import DynamicMixer, transport_route
+from repro.fpva.geometry import (
+    Cell,
+    Edge,
+    Junction,
+    Orientation,
+    Side,
+    edge_between,
+    full_grid_valve_count,
+)
+from repro.fpva.graph import (
+    BoundaryArcs,
+    UnsupportedTopologyError,
+    boundary_arcs,
+    cell_graph,
+    junction_graph,
+)
+from repro.fpva.layouts import (
+    TABLE1_PAPER,
+    TABLE1_SIZES,
+    TABLE1_VALVE_COUNTS,
+    Table1Row,
+    all_table1_layouts,
+    fig8_layout,
+    fig9_layout,
+    full_layout,
+    table1_layout,
+)
+from repro.fpva.ports import Port, PortKind, sink, source
+
+__all__ = [
+    "FPVA",
+    "FPVABuilder",
+    "LayoutError",
+    "EdgeKind",
+    "FaultClass",
+    "ValveState",
+    "control_adjacent_pairs",
+    "neighbors_of",
+    "DynamicMixer",
+    "transport_route",
+    "Cell",
+    "Edge",
+    "Junction",
+    "Orientation",
+    "Side",
+    "edge_between",
+    "full_grid_valve_count",
+    "BoundaryArcs",
+    "UnsupportedTopologyError",
+    "boundary_arcs",
+    "cell_graph",
+    "junction_graph",
+    "TABLE1_PAPER",
+    "TABLE1_SIZES",
+    "TABLE1_VALVE_COUNTS",
+    "Table1Row",
+    "all_table1_layouts",
+    "fig8_layout",
+    "fig9_layout",
+    "full_layout",
+    "table1_layout",
+    "Port",
+    "PortKind",
+    "sink",
+    "source",
+]

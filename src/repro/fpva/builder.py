@@ -1,0 +1,101 @@
+"""Fluent construction of FPVA layouts."""
+
+from __future__ import annotations
+
+from repro.fpva.array import FPVA, LayoutError
+from repro.fpva.geometry import Cell, Edge, Side, edge_between
+from repro.fpva.ports import Port, sink, source
+
+
+class FPVABuilder:
+    """Builds an :class:`~repro.fpva.array.FPVA` step by step.
+
+    Example::
+
+        fpva = (
+            FPVABuilder(10, 10, name="demo")
+            .obstacle_rect(4, 4, 5, 5)
+            .channel(Cell(8, 2), "east", 3)
+            .source(Side.WEST, 5)
+            .sink(Side.EAST, 5)
+            .build()
+        )
+    """
+
+    _DIRECTIONS = {
+        "north": (-1, 0),
+        "south": (1, 0),
+        "east": (0, 1),
+        "west": (0, -1),
+    }
+
+    def __init__(self, nr: int, nc: int, name: str = ""):
+        self.nr = nr
+        self.nc = nc
+        self.name = name
+        self._obstacles: set[Cell] = set()
+        self._channels: set[Edge] = set()
+        self._ports: list[Port] = []
+
+    # -- obstacles -------------------------------------------------------
+    def obstacle(self, r: int, c: int) -> "FPVABuilder":
+        """Mark a single cell as an obstacle."""
+        self._obstacles.add(Cell(r, c))
+        return self
+
+    def obstacle_rect(self, r1: int, c1: int, r2: int, c2: int) -> "FPVABuilder":
+        """Mark the inclusive rectangle ``(r1,c1)..(r2,c2)`` as obstacles."""
+        if r2 < r1 or c2 < c1:
+            raise LayoutError("obstacle rectangle corners out of order")
+        for r in range(r1, r2 + 1):
+            for c in range(c1, c2 + 1):
+                self._obstacles.add(Cell(r, c))
+        return self
+
+    # -- channels --------------------------------------------------------
+    def channel_edge(self, c1: Cell, c2: Cell) -> "FPVABuilder":
+        """Declare the edge between two adjacent cells a permanent channel."""
+        self._channels.add(edge_between(Cell(*c1), Cell(*c2)))
+        return self
+
+    def channel(self, start: Cell, direction: str, length: int) -> "FPVABuilder":
+        """A straight run of ``length`` channel edges from ``start``.
+
+        ``direction`` is one of ``"north" | "south" | "east" | "west"``.
+        A channel of length L spans L+1 cells.
+        """
+        if direction not in self._DIRECTIONS:
+            raise LayoutError(f"unknown direction {direction!r}")
+        if length < 1:
+            raise LayoutError("channel length must be >= 1")
+        dr, dc = self._DIRECTIONS[direction]
+        cur = Cell(*start)
+        for _ in range(length):
+            nxt = Cell(cur.r + dr, cur.c + dc)
+            self.channel_edge(cur, nxt)
+            cur = nxt
+        return self
+
+    # -- ports -----------------------------------------------------------
+    def source(self, side: Side, index: int, name: str = "") -> "FPVABuilder":
+        self._ports.append(source(side, index, name))
+        return self
+
+    def sink(self, side: Side, index: int, name: str = "") -> "FPVABuilder":
+        self._ports.append(sink(side, index, name))
+        return self
+
+    def port(self, port: Port) -> "FPVABuilder":
+        self._ports.append(port)
+        return self
+
+    # -- build -----------------------------------------------------------
+    def build(self) -> FPVA:
+        return FPVA(
+            self.nr,
+            self.nc,
+            obstacles=self._obstacles,
+            channels=self._channels,
+            ports=self._ports,
+            name=self.name,
+        )

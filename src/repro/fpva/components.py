@@ -1,0 +1,39 @@
+"""Component-level vocabulary: valve states and edge kinds."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ValveState(enum.Enum):
+    """Commanded state of a valve (control line actuated or released)."""
+
+    OPEN = "open"
+    CLOSED = "closed"
+
+    def flipped(self) -> "ValveState":
+        return ValveState.CLOSED if self is ValveState.OPEN else ValveState.OPEN
+
+
+class EdgeKind(enum.Enum):
+    """What occupies a flow-edge position in the array."""
+
+    VALVE = "valve"  # a real, controllable, testable valve
+    CHANNEL = "channel"  # transport channel: always open, no valve built
+    PORT = "port"  # breach in the sealed boundary for a source/sink
+
+
+class FaultClass(enum.Enum):
+    """Component-level fault classes from section II of the paper.
+
+    ``STUCK_AT_0``: the valve can never open (a break in the flow channel is
+    equivalent to the valve at the channel entrance never opening).
+    ``STUCK_AT_1``: the valve can never close (a leaking flow channel, or a
+    break in the control channel so actuation pressure never arrives).
+    ``CONTROL_LEAK``: two control channels share pressure, so actuating one
+    valve also closes the other.
+    """
+
+    STUCK_AT_0 = "stuck-at-0"
+    STUCK_AT_1 = "stuck-at-1"
+    CONTROL_LEAK = "control-leak"

@@ -1,0 +1,178 @@
+"""Dynamic devices configured on an FPVA (Fig 2 of the paper).
+
+An FPVA executes bioassay operations by *configuring* groups of valves: a
+dynamic mixer is a ring of cells whose enclosing valves are closed (forming
+a channel wall) while the valves along the ring stay open; a subset of ring
+valves act as peristaltic pump valves, actuated in a rotating pattern to
+drive circular flow.  Two devices can share chip area as long as they are
+not active at the same time (Fig 2(d)).
+
+This module synthesizes such configurations so the examples can demonstrate
+the reconfigurability story that motivates FPVA testing, and so device
+regions can be checked fault-free with the generated test sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.fpva.array import FPVA, LayoutError
+from repro.fpva.components import ValveState
+from repro.fpva.geometry import Cell, Edge, edge_between, in_bounds, neighbors4
+
+
+@dataclass(frozen=True)
+class DynamicMixer:
+    """A ``height x width`` dynamic mixer with its top-left cell at ``origin``.
+
+    The paper's Fig 2(b)/(c) mixers are 4x2 and 2x4; any ``height, width >= 2``
+    is supported.  For 4x2 / 2x4 the ring has exactly eight valves — the
+    eight pump valves the paper describes.
+    """
+
+    origin: Cell
+    height: int
+    width: int
+
+    def __post_init__(self):
+        if self.height < 2 or self.width < 2:
+            raise LayoutError("a dynamic mixer needs at least 2x2 cells")
+
+    # -- geometry -----------------------------------------------------------
+    @cached_property
+    def cells(self) -> frozenset[Cell]:
+        """All cells of the mixer block."""
+        r0, c0 = self.origin
+        return frozenset(
+            Cell(r, c)
+            for r in range(r0, r0 + self.height)
+            for c in range(c0, c0 + self.width)
+        )
+
+    @cached_property
+    def ring_cells(self) -> tuple[Cell, ...]:
+        """Perimeter cells of the block in clockwise cycle order."""
+        r0, c0 = self.origin
+        r1, c1 = r0 + self.height - 1, c0 + self.width - 1
+        ring: list[Cell] = []
+        ring.extend(Cell(r0, c) for c in range(c0, c1 + 1))
+        ring.extend(Cell(r, c1) for r in range(r0 + 1, r1 + 1))
+        ring.extend(Cell(r1, c) for c in range(c1 - 1, c0 - 1, -1))
+        ring.extend(Cell(r, c0) for r in range(r1 - 1, r0, -1))
+        return tuple(ring)
+
+    @cached_property
+    def ring_valves(self) -> tuple[Edge, ...]:
+        """Valves between consecutive ring cells (the circulation channel)."""
+        ring = self.ring_cells
+        return tuple(
+            edge_between(ring[i], ring[(i + 1) % len(ring)])
+            for i in range(len(ring))
+        )
+
+    @cached_property
+    def interior_cells(self) -> frozenset[Cell]:
+        return self.cells - set(self.ring_cells)
+
+    def guard_valves(self, fpva: FPVA) -> tuple[Edge, ...]:
+        """Valves that must close to enclose the circulating flow.
+
+        These are all flow edges from a ring cell to a cell outside the ring
+        (either outside the block or in its interior).
+        """
+        ring_set = set(self.ring_cells)
+        guards: set[Edge] = set()
+        for cell in self.ring_cells:
+            for nb in neighbors4(cell):
+                if nb in ring_set or not fpva.is_cell(nb):
+                    continue
+                edge = edge_between(cell, nb)
+                if edge in fpva._flow_edge_set:
+                    guards.add(edge)
+        return tuple(sorted(guards))
+
+    @cached_property
+    def pump_valves(self) -> tuple[Edge, ...]:
+        """The eight pump valves: evenly spaced valves along the ring."""
+        ring = self.ring_valves
+        if len(ring) <= 8:
+            return ring
+        step = len(ring) / 8
+        picks = sorted({int(i * step) for i in range(8)})
+        return tuple(ring[i] for i in picks)
+
+    # -- validation & configuration ----------------------------------------
+    def validate(self, fpva: FPVA) -> None:
+        """Check the mixer is realizable at its location on ``fpva``."""
+        for cell in self.cells:
+            if not in_bounds(cell, fpva.nr, fpva.nc):
+                raise LayoutError(f"mixer cell {cell} outside the array")
+            if cell in fpva.obstacles:
+                raise LayoutError(f"mixer overlaps obstacle cell {cell}")
+        for valve in self.ring_valves:
+            if valve not in fpva._flow_edge_set:
+                raise LayoutError(f"mixer ring edge {valve} missing on the array")
+        for guard in self.guard_valves(fpva):
+            if guard in fpva.channels:
+                raise LayoutError(
+                    f"mixer wall needs {guard} closed but it is a permanent channel"
+                )
+
+    def configuration(self, fpva: FPVA) -> dict[Edge, ValveState]:
+        """Valve states realizing the mixer: ring open, walls closed."""
+        self.validate(fpva)
+        config = {valve: ValveState.OPEN for valve in self.ring_valves}
+        for guard in self.guard_valves(fpva):
+            config[guard] = ValveState.CLOSED
+        return config
+
+    def pump_phases(self, plug_width: int = 2) -> list[dict[Edge, ValveState]]:
+        """Peristaltic actuation: a plug of closed pump valves travels the ring.
+
+        Phase ``i`` closes ``plug_width`` consecutive pump valves starting at
+        pump valve ``i``; all other pump valves are open.  Applying the
+        phases cyclically drives circulation.
+        """
+        pumps = self.pump_valves
+        if plug_width >= len(pumps):
+            raise LayoutError("plug width must leave at least one pump valve open")
+        phases = []
+        for i in range(len(pumps)):
+            closed = {pumps[(i + k) % len(pumps)] for k in range(plug_width)}
+            phases.append(
+                {
+                    pump: (ValveState.CLOSED if pump in closed else ValveState.OPEN)
+                    for pump in pumps
+                }
+            )
+        return phases
+
+    def overlaps(self, other: "DynamicMixer") -> bool:
+        """True if the two mixers share chip area (Fig 2(d))."""
+        return bool(self.cells & other.cells)
+
+
+def transport_route(fpva: FPVA, cells: list[Cell]) -> dict[Edge, ValveState]:
+    """Valve states forming a transport channel along ``cells``.
+
+    Opens the valves along the route and closes every other valve incident
+    to the route, so fluid cannot escape sideways.
+    """
+    if len(cells) < 2:
+        raise LayoutError("a transport route needs at least two cells")
+    route_edges = [edge_between(cells[i], cells[i + 1]) for i in range(len(cells) - 1)]
+    config: dict[Edge, ValveState] = {}
+    for edge in route_edges:
+        if edge not in fpva._flow_edge_set:
+            raise LayoutError(f"route edge {edge} missing on the array")
+        config[edge] = ValveState.OPEN
+    route_edge_set = set(route_edges)
+    for cell in cells:
+        for edge in fpva.edges_at(cell):
+            if edge in route_edge_set:
+                continue
+            if edge in fpva.channels:
+                continue  # cannot close a permanent channel
+            config[edge] = ValveState.CLOSED
+    return config

@@ -1,0 +1,134 @@
+"""Benchmark array layouts reproducing Table I of the paper.
+
+Table I reports five arrays (5x5 .. 30x30) "with long channels for
+transportation and obstacle areas without valves".  The exact layouts were
+not published, but the valve counts pin down the budget precisely: for every
+n x n array the reported ``n_v`` equals the full-grid valve count
+``2n^2 - 2n`` minus ``(n/5)^2`` — exactly one valve position per 5x5
+subblock is consumed by channel/obstacle structure:
+
+    ============  =====  ===============  ========  =======
+    array         n_v    full-grid count  removed   (n/5)^2
+    ============  =====  ===============  ========  =======
+    5 x 5          39          40             1        1
+    10 x 10       176         180             4        4
+    15 x 15       411         420             9        9
+    20 x 20       744         760            16       16
+    30 x 30      1704        1740            36       36
+    ============  =====  ===============  ========  =======
+
+The layouts below place long channels and obstacle blocks consuming exactly
+that budget (the 20x20 array uses three channels and two obstacles, matching
+the Fig 9 description).  Tests assert the resulting valve counts equal the
+published n_v values.
+
+Every benchmark array has one pressure source at the top of the west side
+and one pressure meter at the bottom of the east side.  Diagonally opposite
+ports make every straight row/column wall a valid source/sink cut, which is
+what produces the paper's n_c = n_r + n_c - 2 cut-set counts (8, 18, 28,
+38, 58 for the five arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpva.array import FPVA
+from repro.fpva.builder import FPVABuilder
+from repro.fpva.geometry import Cell, Side
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Published Table I numbers for one array (for benchmark comparison)."""
+
+    dimension: str
+    nv: int
+    top: str
+    subblock: str
+    np_paths: int
+    tp_seconds: float
+    nc_cuts: int
+    tc_seconds: float
+    nl_leak: int
+    tl_seconds: float
+    total_vectors: int
+    total_seconds: float
+
+
+#: The published Table I, row by row.
+TABLE1_PAPER: tuple[Table1Row, ...] = (
+    Table1Row("5x5", 39, "1x1", "5x5", 5, 0.3, 8, 0.2, 4, 2.0, 17, 2.5),
+    Table1Row("10x10", 176, "2x2", "5x5", 4, 4.0, 18, 5.0, 4, 10.0, 26, 19.0),
+    Table1Row("15x15", 411, "3x3", "5x5", 8, 17.0, 28, 26.0, 8, 127.0, 44, 170.0),
+    Table1Row("20x20", 744, "4x4", "5x5", 16, 35.0, 38, 41.0, 16, 742.0, 70, 818.0),
+    Table1Row("30x30", 1704, "6x6", "5x5", 20, 255.0, 58, 171.0, 20, 1492.0, 98, 1918.0),
+)
+
+#: Published valve counts keyed by array size.
+TABLE1_VALVE_COUNTS = {5: 39, 10: 176, 15: 411, 20: 744, 30: 1704}
+
+TABLE1_SIZES = (5, 10, 15, 20, 30)
+
+
+def full_layout(nr: int, nc: int, name: str = "") -> FPVA:
+    """A full array with no channels or obstacles (used by Fig 8).
+
+    Ports sit at diagonally opposite corners (source NW, sink SE) so that
+    every straight row/column wall separates them.
+    """
+    return (
+        FPVABuilder(nr, nc, name=name or f"full-{nr}x{nc}")
+        .source(Side.WEST, 1)
+        .sink(Side.EAST, nr)
+        .build()
+    )
+
+
+def table1_layout(n: int) -> FPVA:
+    """The benchmark array of size ``n`` (one of 5, 10, 15, 20, 30)."""
+    if n not in TABLE1_SIZES:
+        raise ValueError(f"Table I arrays are {TABLE1_SIZES}, got {n}")
+    b = FPVABuilder(n, n, name=f"table1-{n}x{n}")
+    b.source(Side.WEST, 1).sink(Side.EAST, n)
+    if n == 5:
+        # One channel edge (budget 1).
+        b.channel(Cell(3, 2), "east", 1)
+    elif n == 10:
+        # One transport channel of length 4 (budget 4).
+        b.channel(Cell(5, 3), "east", 4)
+    elif n == 15:
+        # One 1x1 obstacle (4) + one channel of length 5 (budget 9).
+        b.obstacle(8, 8)
+        b.channel(Cell(3, 5), "east", 5)
+    elif n == 20:
+        # Fig 9: three channels and two obstacles (budget 16 = 2*4 + 3+3+2).
+        b.obstacle(6, 6)
+        b.obstacle(15, 15)
+        b.channel(Cell(3, 8), "east", 3)
+        b.channel(Cell(10, 12), "south", 3)
+        b.channel(Cell(17, 4), "east", 2)
+    else:  # n == 30
+        # Two 2x2 obstacle areas (2*12) + three channels of length 4
+        # (budget 36 = 24 + 12).
+        b.obstacle_rect(8, 8, 9, 9)
+        b.obstacle_rect(20, 20, 21, 21)
+        b.channel(Cell(15, 3), "east", 4)
+        b.channel(Cell(3, 15), "south", 4)
+        b.channel(Cell(25, 22), "east", 4)
+    return b.build()
+
+
+def fig9_layout() -> FPVA:
+    """The 20x20 array with three channels and two obstacles shown in Fig 9."""
+    return table1_layout(20)
+
+
+def fig8_layout() -> FPVA:
+    """The full 10x10 array (no channels or obstacles) used in Fig 8."""
+    return full_layout(10, 10, name="fig8-10x10")
+
+
+def all_table1_layouts() -> dict[int, FPVA]:
+    """All five Table I arrays keyed by size."""
+    return {n: table1_layout(n) for n in TABLE1_SIZES}

@@ -1,0 +1,57 @@
+"""Pressure source and pressure-meter (sink) ports.
+
+A port breaches the sealed chip boundary at one boundary cell.  Following the
+paper we call a pressure source a *source port* and a pressure-meter port a
+*sink port*.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+from repro.fpva.geometry import Cell, Junction, Side, boundary_cell, port_gap
+
+
+class PortKind(enum.Enum):
+    SOURCE = "source"
+    SINK = "sink"
+
+
+class Port(NamedTuple):
+    """A port on side ``side`` at 1-based position ``index`` along that side.
+
+    ``index`` is a column for NORTH/SOUTH ports and a row for EAST/WEST
+    ports.  ``name`` is a display label (e.g. ``"src0"``, ``"o2"``).
+    """
+
+    kind: PortKind
+    side: Side
+    index: int
+    name: str
+
+    def cell(self, nr: int, nc: int) -> Cell:
+        """The boundary cell this port opens into."""
+        return boundary_cell(self.side, self.index, nr, nc)
+
+    def gap(self, nr: int, nc: int) -> tuple[Junction, Junction]:
+        """The perimeter junction segment breached by this port."""
+        return port_gap(self.side, self.cell(nr, nc))
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is PortKind.SOURCE
+
+    @property
+    def is_sink(self) -> bool:
+        return self.kind is PortKind.SINK
+
+
+def source(side: Side, index: int, name: str = "") -> Port:
+    """Convenience constructor for a pressure source port."""
+    return Port(PortKind.SOURCE, side, index, name or f"src@{side.value}{index}")
+
+
+def sink(side: Side, index: int, name: str = "") -> Port:
+    """Convenience constructor for a pressure-meter (sink) port."""
+    return Port(PortKind.SINK, side, index, name or f"meter@{side.value}{index}")

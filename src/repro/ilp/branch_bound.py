@@ -1,0 +1,238 @@
+"""A self-contained branch-and-bound MILP solver.
+
+Solves mixed-integer linear programs by LP-relaxation branch-and-bound:
+
+* LP relaxations are solved with :func:`scipy.optimize.linprog` (HiGHS LP);
+* branching picks the integer variable whose fractional part is closest to
+  one half (most-fractional rule);
+* the node queue is explored depth-first (children of the most recent node
+  first) with best-bound pruning against the incumbent;
+* a rounding heuristic attempts to turn each LP solution into an incumbent
+  early.
+
+This backend exists for two reasons: it removes the dependency on any
+particular MILP library (the paper used a commercial solver we do not have),
+and it serves as a differential-testing oracle for the HiGHS backend — both
+are exact, so they must agree on optimal objective values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.ilp.model import Model
+from repro.ilp.status import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+_OBJ_TOL = 1e-9
+
+
+@dataclass
+class _Node:
+    """A branch-and-bound node: variable bound overrides + parent LP bound."""
+
+    lb: np.ndarray
+    ub: np.ndarray
+    bound: float  # LP objective of the parent (a valid lower bound)
+    depth: int
+
+
+class _LPRelaxation:
+    """LP relaxation machinery shared across nodes."""
+
+    def __init__(self, model: Model):
+        form = model.to_standard_form()
+        self.c = form.c
+        self.sign = form.sign
+        self.objective_constant = form.objective_constant
+        self.integrality = form.integrality.astype(bool)
+        self.base_lb = form.var_lb
+        self.base_ub = form.var_ub
+        # Split two-sided linear constraints into A_ub / A_eq blocks once.
+        eq_mask = np.isfinite(form.con_lb) & (form.con_lb == form.con_ub)
+        A = form.A
+        self.A_eq = A[eq_mask] if eq_mask.any() else None
+        self.b_eq = form.con_ub[eq_mask] if eq_mask.any() else None
+        ub_rows = []
+        ub_rhs = []
+        ineq = ~eq_mask
+        if ineq.any():
+            A_ineq = A[ineq]
+            lo = form.con_lb[ineq]
+            hi = form.con_ub[ineq]
+            finite_hi = np.isfinite(hi)
+            if finite_hi.any():
+                ub_rows.append(A_ineq[finite_hi])
+                ub_rhs.append(hi[finite_hi])
+            finite_lo = np.isfinite(lo)
+            if finite_lo.any():
+                ub_rows.append(-A_ineq[finite_lo])
+                ub_rhs.append(-lo[finite_lo])
+        if ub_rows:
+            from scipy import sparse
+
+            self.A_ub = sparse.vstack(ub_rows, format="csr")
+            self.b_ub = np.concatenate(ub_rhs)
+        else:
+            self.A_ub = None
+            self.b_ub = None
+
+    def solve(self, lb: np.ndarray, ub: np.ndarray):
+        """Solve the LP with the given bound overrides.
+
+        Returns ``(status, objective, x)`` where status is one of
+        ``"optimal" | "infeasible" | "unbounded" | "error"``.
+        """
+        res = linprog(
+            self.c,
+            A_ub=self.A_ub,
+            b_ub=self.b_ub,
+            A_eq=self.A_eq,
+            b_eq=self.b_eq,
+            bounds=np.column_stack([lb, ub]),
+            method="highs",
+        )
+        if res.status == 0:
+            return "optimal", float(res.fun), np.asarray(res.x)
+        if res.status == 2:
+            return "infeasible", None, None
+        if res.status == 3:
+            return "unbounded", None, None
+        return "error", None, None
+
+
+def solve_with_branch_and_bound(
+    model: Model,
+    time_limit: float | None = None,
+    node_limit: int = 200_000,
+) -> Solution:
+    """Solve ``model`` by branch and bound.  Exact (up to tolerances)."""
+    start = time.perf_counter()
+    relax = _LPRelaxation(model)
+    n = model.num_variables
+
+    def out_of_time() -> bool:
+        return time_limit is not None and time.perf_counter() - start > time_limit
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = np.inf  # minimizing convention
+
+    def try_incumbent(x: np.ndarray) -> None:
+        """Round integral vars and accept if feasible and improving."""
+        nonlocal incumbent_x, incumbent_obj
+        cand = x.copy()
+        cand[relax.integrality] = np.round(cand[relax.integrality])
+        obj = float(relax.c @ cand)
+        if obj >= incumbent_obj - _OBJ_TOL:
+            return
+        values = {var: float(cand[var.index]) for var in model.variables}
+        if model.is_feasible_point(values, tol=1e-6):
+            incumbent_x = cand
+            incumbent_obj = obj
+
+    stack: list[_Node] = [
+        _Node(relax.base_lb.copy(), relax.base_ub.copy(), -np.inf, 0)
+    ]
+    nodes = 0
+    root_unbounded = False
+    any_lp_solved = False
+
+    while stack:
+        if nodes >= node_limit or out_of_time():
+            break
+        node = stack.pop()
+        if node.bound >= incumbent_obj - _OBJ_TOL:
+            continue  # pruned by bound
+        nodes += 1
+
+        status, obj, x = relax.solve(node.lb, node.ub)
+        if status == "infeasible":
+            continue
+        if status == "unbounded":
+            if node.depth == 0:
+                root_unbounded = True
+                break
+            continue
+        if status != "optimal":
+            continue
+        any_lp_solved = True
+        if obj >= incumbent_obj - _OBJ_TOL:
+            continue  # cannot improve
+
+        frac = np.abs(x - np.round(x))
+        frac[~relax.integrality] = 0.0
+        if frac.max(initial=0.0) <= _INT_TOL:
+            # Integral LP optimum: new incumbent.
+            try_incumbent(x)
+            continue
+
+        try_incumbent(x)  # rounding heuristic
+
+        # Branch on the most fractional integer variable.
+        j = int(np.argmax(frac))
+        xv = x[j]
+        lo_lb, lo_ub = node.lb.copy(), node.ub.copy()
+        hi_lb, hi_ub = node.lb.copy(), node.ub.copy()
+        lo_ub[j] = np.floor(xv)
+        hi_lb[j] = np.ceil(xv)
+        # Push the branch nearer the LP value last so it is explored first.
+        if xv - np.floor(xv) <= 0.5:
+            stack.append(_Node(hi_lb, hi_ub, obj, node.depth + 1))
+            stack.append(_Node(lo_lb, lo_ub, obj, node.depth + 1))
+        else:
+            stack.append(_Node(lo_lb, lo_ub, obj, node.depth + 1))
+            stack.append(_Node(hi_lb, hi_ub, obj, node.depth + 1))
+
+    elapsed = time.perf_counter() - start
+    exhausted = not stack and not root_unbounded
+
+    if root_unbounded:
+        return Solution(
+            status=SolveStatus.UNBOUNDED,
+            backend="branch-and-bound",
+            nodes=nodes,
+            wall_time=elapsed,
+        )
+
+    if incumbent_x is not None:
+        values = {var: float(incumbent_x[var.index]) for var in model.variables}
+        for var in model.variables:
+            if var.is_integral:
+                values[var] = float(round(values[var]))
+        objective = relax.sign * incumbent_obj + relax.objective_constant
+        status = SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            backend="branch-and-bound",
+            nodes=nodes,
+            wall_time=elapsed,
+        )
+
+    if exhausted and not any_lp_solved:
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            backend="branch-and-bound",
+            nodes=nodes,
+            wall_time=elapsed,
+        )
+    if exhausted:
+        # LPs solved but no integral point exists in any leaf.
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            backend="branch-and-bound",
+            nodes=nodes,
+            wall_time=elapsed,
+        )
+    return Solution(
+        status=SolveStatus.TIME_LIMIT,
+        backend="branch-and-bound",
+        nodes=nodes,
+        wall_time=elapsed,
+        message="node or time limit reached without incumbent",
+    )

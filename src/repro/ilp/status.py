@@ -1,0 +1,59 @@
+"""Solver status codes and solution objects shared by all backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ilp.model import Model, Var
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"  # incumbent found but optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"  # limit hit with no incumbent
+    ERROR = "error"
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`~repro.ilp.model.Model`.
+
+    ``values`` maps every model variable to its value when a feasible point
+    was found (status OPTIMAL or FEASIBLE); it is empty otherwise.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: Mapping[Var, float] = field(default_factory=dict)
+    backend: str = ""
+    nodes: int = 0
+    wall_time: float = 0.0
+    message: str = ""
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    @property
+    def has_solution(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, var: Var) -> float:
+        """Value of ``var`` in the solution."""
+        return self.values[var]
+
+    def int_value(self, var: Var) -> int:
+        """Value of ``var`` rounded to the nearest integer."""
+        return int(round(self.values[var]))
+
+    def check(self, model: Model, tol: float = 1e-5) -> bool:
+        """Independently verify feasibility of the solution against ``model``."""
+        if not self.has_solution:
+            return False
+        return model.is_feasible_point(self.values, tol)

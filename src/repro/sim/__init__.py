@@ -1,0 +1,43 @@
+"""Pressure simulation, fault injection and diagnosis substrate."""
+
+from repro.sim.campaign import CampaignResult, run_campaign, run_sweep, sample_fault_set
+from repro.sim.chip import ChipUnderTest
+from repro.sim.diagnosis import DiagnosisReport, FaultDictionary
+from repro.sim.faults import (
+    ControlLeak,
+    Fault,
+    StuckAt0,
+    StuckAt1,
+    control_leak_faults,
+    fault_universe,
+    untestable_leak_pairs,
+    faults_compatible,
+    faulty_valves,
+    stuck_at_faults,
+)
+from repro.sim.pressure import PressureSimulator
+from repro.sim.tester import Tester, TestRunResult, VectorOutcome
+
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "run_sweep",
+    "sample_fault_set",
+    "ChipUnderTest",
+    "DiagnosisReport",
+    "FaultDictionary",
+    "ControlLeak",
+    "Fault",
+    "StuckAt0",
+    "StuckAt1",
+    "control_leak_faults",
+    "fault_universe",
+    "untestable_leak_pairs",
+    "faults_compatible",
+    "faulty_valves",
+    "stuck_at_faults",
+    "PressureSimulator",
+    "Tester",
+    "TestRunResult",
+    "VectorOutcome",
+]

@@ -1,0 +1,96 @@
+"""Fault localization by syndrome matching (dictionary diagnosis).
+
+The paper's test flow answers "is the chip faulty?"; for a programmable
+array it is also useful to know *where*, because an FPVA with a localized
+defect can still run applications mapped around the bad region.  This module
+implements classic dictionary diagnosis on top of the simulator: precompute
+the syndrome of every single fault (optionally every fault pair) under the
+generated suite, then look up observed syndromes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.vectors import TestVector
+from repro.fpva.array import FPVA
+from repro.sim.chip import ChipUnderTest
+from repro.sim.faults import Fault, fault_universe, faults_compatible
+from repro.sim.tester import Tester, TestRunResult
+
+Syndrome = tuple
+
+
+@dataclass
+class DiagnosisReport:
+    """Candidate fault sets whose syndrome matches the observation."""
+
+    syndrome: Syndrome
+    candidates: list[tuple[Fault, ...]]
+
+    @property
+    def is_unique(self) -> bool:
+        return len(self.candidates) == 1
+
+    @property
+    def localized(self) -> bool:
+        return bool(self.candidates)
+
+
+class FaultDictionary:
+    """Precomputed syndrome → fault-set dictionary."""
+
+    def __init__(
+        self,
+        fpva: FPVA,
+        vectors: Sequence[TestVector],
+        include_control_leaks: bool = True,
+        max_cardinality: int = 1,
+    ):
+        if max_cardinality not in (1, 2):
+            raise ValueError("dictionary supports single and double faults")
+        self.fpva = fpva
+        self.vectors = list(vectors)
+        self.tester = Tester(fpva)
+        self._table: dict[Syndrome, list[tuple[Fault, ...]]] = defaultdict(list)
+
+        universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
+        fault_sets: list[tuple[Fault, ...]] = [(f,) for f in universe]
+        if max_cardinality == 2:
+            fault_sets.extend(
+                pair
+                for pair in itertools.combinations(universe, 2)
+                if faults_compatible(pair)
+            )
+        for faults in fault_sets:
+            syndrome = self._syndrome_of(faults)
+            if syndrome:  # undetectable sets cannot be diagnosed
+                self._table[syndrome].append(faults)
+
+    def _syndrome_of(self, faults: tuple[Fault, ...]) -> Syndrome:
+        chip = ChipUnderTest(self.fpva, faults)
+        return self.tester.run(chip, self.vectors).syndrome()
+
+    @property
+    def distinct_syndromes(self) -> int:
+        return len(self._table)
+
+    def diagnose_run(self, run: TestRunResult) -> DiagnosisReport:
+        """Diagnose from a completed (full, non-early-stopped) test run."""
+        syndrome = run.syndrome()
+        return DiagnosisReport(
+            syndrome=syndrome, candidates=list(self._table.get(syndrome, []))
+        )
+
+    def diagnose_chip(self, chip: ChipUnderTest) -> DiagnosisReport:
+        """Apply the suite to ``chip`` and diagnose the observed syndrome."""
+        return self.diagnose_run(self.tester.run(chip, self.vectors))
+
+    def resolution(self) -> float:
+        """Average number of candidates per syndrome (1.0 = perfect)."""
+        if not self._table:
+            return 0.0
+        return sum(len(v) for v in self._table.values()) / len(self._table)

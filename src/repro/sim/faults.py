@@ -1,0 +1,159 @@
+"""Fault model (section II of the paper).
+
+The four manufacturing defects of Fig 3 map onto three valve-level faults:
+
+* broken flow channel → the valve at the channel entrance can never open:
+  :class:`StuckAt0`;
+* leaking flow channel → the valve separating the two channels can never
+  close: :class:`StuckAt1`;
+* broken control channel → actuation pressure never arrives, the valve can
+  never close: :class:`StuckAt1`;
+* leaking control channel → two valves close simultaneously whenever either
+  control line is pressurized: :class:`ControlLeak`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.fpva.array import FPVA
+from repro.fpva.control import control_adjacent_pairs
+from repro.fpva.geometry import Edge
+
+
+@dataclass(frozen=True)
+class StuckAt0:
+    """The valve can never open (always closed)."""
+
+    valve: Edge
+
+    def __repr__(self):
+        return f"SA0({self.valve})"
+
+
+@dataclass(frozen=True)
+class StuckAt1:
+    """The valve can never close (always open)."""
+
+    valve: Edge
+
+    def __repr__(self):
+        return f"SA1({self.valve})"
+
+
+@dataclass(frozen=True)
+class ControlLeak:
+    """Control-line leakage between two valves: closing either closes both."""
+
+    a: Edge
+    b: Edge
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise ValueError("control leak needs two distinct valves")
+        if self.b < self.a:  # normalize order
+            lo, hi = self.b, self.a
+            object.__setattr__(self, "a", lo)
+            object.__setattr__(self, "b", hi)
+
+    @property
+    def valves(self) -> tuple[Edge, Edge]:
+        return (self.a, self.b)
+
+    def __repr__(self):
+        return f"Leak({self.a}~{self.b})"
+
+
+Fault = Union[StuckAt0, StuckAt1, ControlLeak]
+
+
+def stuck_at_faults(fpva: FPVA) -> list[Fault]:
+    """Both stuck-at faults for every valve."""
+    out: list[Fault] = []
+    for valve in fpva.valves:
+        out.append(StuckAt0(valve))
+        out.append(StuckAt1(valve))
+    return out
+
+
+def untestable_leak_pairs(fpva: FPVA) -> frozenset[frozenset[Edge]]:
+    """Control pairs no pressure test can distinguish from a good chip.
+
+    If two valves are the only two openings of a shared cell (a degree-2
+    dead-end cell with no port), every flow route through one of them must
+    also use the other — so neither "aggressor closed, victim live" pattern
+    is realizable and the leak between them is physically undetectable at
+    the meters.  The paper's random-injection experiment ("test vectors
+    captured all the faults") implicitly ranges over detectable faults, so
+    the campaign sampler excludes these pairs by default.
+    """
+    degree: dict = {}
+    for edge in fpva.flow_edges:
+        for cell in edge.cells:
+            degree[cell] = degree.get(cell, 0) + 1
+    for port in fpva.ports:
+        cell = port.cell(fpva.nr, fpva.nc)
+        degree[cell] = degree.get(cell, 0) + 1
+
+    out: set[frozenset[Edge]] = set()
+    for pair in control_adjacent_pairs(fpva):
+        a, b = tuple(pair)
+        shared = set(a.cells) & set(b.cells)
+        if shared and degree[next(iter(shared))] == 2:
+            out.add(pair)
+    return frozenset(out)
+
+
+def control_leak_faults(fpva: FPVA, testable_only: bool = True) -> list[Fault]:
+    """One :class:`ControlLeak` per control-adjacent valve pair."""
+    skip = untestable_leak_pairs(fpva) if testable_only else frozenset()
+    out: list[Fault] = []
+    for pair in sorted(control_adjacent_pairs(fpva), key=sorted):
+        if pair in skip:
+            continue
+        a, b = sorted(pair)
+        out.append(ControlLeak(a, b))
+    return out
+
+
+def fault_universe(
+    fpva: FPVA,
+    include_control_leaks: bool = True,
+    testable_only: bool = True,
+) -> list[Fault]:
+    """Every injectable fault of the array.
+
+    ``testable_only`` drops the physically undetectable control-leak pairs
+    (see :func:`untestable_leak_pairs`); pass False to get the raw universe.
+    """
+    out = stuck_at_faults(fpva)
+    if include_control_leaks:
+        out.extend(control_leak_faults(fpva, testable_only=testable_only))
+    return out
+
+
+def faults_compatible(faults: Sequence[Fault]) -> bool:
+    """True if the fault set is physically consistent.
+
+    A single valve cannot be simultaneously stuck-at-0 and stuck-at-1 (a
+    flow channel cannot be both permanently blocked and permanently leaking
+    at the same valve seat).
+    """
+    sa0 = {f.valve for f in faults if isinstance(f, StuckAt0)}
+    sa1 = {f.valve for f in faults if isinstance(f, StuckAt1)}
+    if sa0 & sa1:
+        return False
+    # Duplicate faults are also rejected.
+    return len(set(faults)) == len(faults)
+
+
+def faulty_valves(faults: Iterable[Fault]) -> set[Edge]:
+    """All valves touched by any fault in the set."""
+    out: set[Edge] = set()
+    for f in faults:
+        if isinstance(f, (StuckAt0, StuckAt1)):
+            out.add(f.valve)
+        else:
+            out.update(f.valves)
+    return out

@@ -1,0 +1,112 @@
+"""Pressure propagation simulator.
+
+The paper's test observation model is binary: air pressure applied at the
+source ports either reaches a pressure meter or it does not, depending on
+which valves are open.  That is graph reachability on the cell graph, which
+this module implements with integer-indexed adjacency lists so fault
+campaigns (thousands of vector applications) stay fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from repro.fpva.array import FPVA
+from repro.fpva.geometry import Cell, Edge
+from repro.fpva.ports import Port
+
+
+class PressureSimulator:
+    """Reachability-based pressure simulation for one array.
+
+    The simulator is immutable and reusable: build once per array, call
+    :meth:`meter_readings` per vector application.
+    """
+
+    def __init__(self, fpva: FPVA):
+        self.fpva = fpva
+        nodes: list = list(fpva.cells()) + list(fpva.ports)
+        self._index: dict = {node: i for i, node in enumerate(nodes)}
+        self._nodes = nodes
+
+        # adjacency[i] = list of (neighbour index, valve Edge or None);
+        # None marks an always-open connection (channel or port opening).
+        self._adjacency: list[list[tuple[int, Edge | None]]] = [
+            [] for _ in nodes
+        ]
+        for edge in fpva.flow_edges:
+            u, w = self._index[edge.a], self._index[edge.b]
+            valve = edge if edge in fpva.valve_set else None
+            self._adjacency[u].append((w, valve))
+            self._adjacency[w].append((u, valve))
+        for port in fpva.ports:
+            p = self._index[port]
+            c = self._index[fpva.port_cell(port)]
+            self._adjacency[p].append((c, None))
+            self._adjacency[c].append((p, None))
+
+        self._source_idx = [self._index[p] for p in fpva.sources]
+        self._sinks = [(p.name, self._index[p]) for p in fpva.sinks]
+
+    def pressurized_nodes(self, open_valves: Iterable[Edge]) -> set:
+        """All cell/port nodes reached by source pressure."""
+        open_set = (
+            open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
+        )
+        seen = [False] * len(self._nodes)
+        queue = deque()
+        for s in self._source_idx:
+            seen[s] = True
+            queue.append(s)
+        while queue:
+            u = queue.popleft()
+            for w, valve in self._adjacency[u]:
+                if seen[w]:
+                    continue
+                if valve is not None and valve not in open_set:
+                    continue
+                seen[w] = True
+                queue.append(w)
+        return {self._nodes[i] for i, hit in enumerate(seen) if hit}
+
+    def meter_readings(self, open_valves: Iterable[Edge]) -> dict[str, bool]:
+        """Pressure reading at every sink port, keyed by port name."""
+        open_set = (
+            open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
+        )
+        n_sinks = len(self._sinks)
+        sink_idx = {idx: name for name, idx in self._sinks}
+        readings: dict[str, bool] = {name: False for name, _ in self._sinks}
+
+        seen = [False] * len(self._nodes)
+        queue = deque()
+        for s in self._source_idx:
+            seen[s] = True
+            queue.append(s)
+        found = 0
+        while queue and found < n_sinks:
+            u = queue.popleft()
+            for w, valve in self._adjacency[u]:
+                if seen[w]:
+                    continue
+                if valve is not None and valve not in open_set:
+                    continue
+                seen[w] = True
+                if w in sink_idx:
+                    readings[sink_idx[w]] = True
+                    found += 1
+                queue.append(w)
+        return readings
+
+    def cells_pressurized(self, open_valves: Iterable[Edge]) -> set[Cell]:
+        """Only the pressurized fluid cells (ports filtered out)."""
+        return {
+            node
+            for node in self.pressurized_nodes(open_valves)
+            if isinstance(node, Cell)
+        }
+
+    def sink_separated(self, open_valves: Iterable[Edge]) -> bool:
+        """True if no sink sees pressure (the cut-set expectation)."""
+        return not any(self.meter_readings(open_valves).values())

@@ -1,0 +1,51 @@
+"""Shared fixtures: small arrays that keep ILP solves fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpva import FPVABuilder, Side, full_layout, table1_layout
+from repro.fpva.geometry import Cell
+
+
+@pytest.fixture(scope="session")
+def tiny():
+    """A full 3x3 array with corner ports."""
+    return full_layout(3, 3, name="tiny-3x3")
+
+
+@pytest.fixture(scope="session")
+def small():
+    """A full 4x4 array."""
+    return full_layout(4, 4, name="small-4x4")
+
+
+@pytest.fixture(scope="session")
+def table5():
+    """The Table I 5x5 array (one channel edge)."""
+    return table1_layout(5)
+
+
+@pytest.fixture(scope="session")
+def obstacle_array():
+    """A 5x5 array with a central obstacle and one channel."""
+    return (
+        FPVABuilder(5, 5, name="obstacle-5x5")
+        .obstacle(3, 3)
+        .channel(Cell(5, 2), "east", 2)
+        .source(Side.WEST, 1)
+        .sink(Side.EAST, 5)
+        .build()
+    )
+
+
+@pytest.fixture(scope="session")
+def two_sink_array():
+    """A 4x4 array with one source and two meters (Fig 4 style)."""
+    return (
+        FPVABuilder(4, 4, name="two-sink-4x4")
+        .source(Side.WEST, 1)
+        .sink(Side.EAST, 2, name="o1")
+        .sink(Side.EAST, 4, name="o2")
+        .build()
+    )

@@ -1,0 +1,126 @@
+"""FPVA model validation and derived properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpva import FPVA, FPVABuilder, LayoutError, Side, full_layout
+from repro.fpva.components import EdgeKind
+from repro.fpva.geometry import Cell, edge_between, full_grid_valve_count
+from repro.fpva.ports import sink, source
+
+
+def _ports(nr):
+    return [source(Side.WEST, 1), sink(Side.EAST, nr)]
+
+
+class TestConstruction:
+    @given(st.integers(2, 10), st.integers(2, 10))
+    def test_full_grid_valve_count(self, nr, nc):
+        fpva = FPVA(nr, nc, ports=_ports(nr))
+        assert fpva.valve_count == full_grid_valve_count(nr, nc)
+        assert fpva.cell_count == nr * nc
+
+    def test_obstacle_removes_incident_valves(self):
+        base = FPVA(5, 5, ports=_ports(5))
+        with_obstacle = FPVA(5, 5, obstacles=[Cell(3, 3)], ports=_ports(5))
+        assert with_obstacle.valve_count == base.valve_count - 4
+        assert not with_obstacle.is_cell(Cell(3, 3))
+
+    def test_channel_converts_valve(self):
+        edge = edge_between(Cell(2, 2), Cell(2, 3))
+        fpva = FPVA(5, 5, channels=[edge], ports=_ports(5))
+        assert fpva.valve_count == full_grid_valve_count(5, 5) - 1
+        assert edge in fpva.flow_edges
+        assert fpva.edge_kind(edge) is EdgeKind.CHANNEL
+
+    def test_edges_at(self):
+        fpva = FPVA(3, 3, ports=_ports(3))
+        assert len(fpva.edges_at(Cell(2, 2))) == 4  # interior
+        assert len(fpva.edges_at(Cell(1, 1))) == 2  # corner
+
+    def test_describe_mentions_counts(self):
+        fpva = FPVA(3, 3, ports=_ports(3), name="demo")
+        text = fpva.describe()
+        assert "demo" in text and "12 valves" in text
+
+
+class TestValidation:
+    def test_requires_ports(self):
+        with pytest.raises(LayoutError):
+            FPVA(3, 3)
+        with pytest.raises(LayoutError):
+            FPVA(3, 3, ports=[source(Side.WEST, 1)])  # no sink
+
+    def test_obstacle_out_of_bounds(self):
+        with pytest.raises(LayoutError):
+            FPVA(3, 3, obstacles=[Cell(4, 1)], ports=_ports(3))
+
+    def test_channel_touching_obstacle(self):
+        with pytest.raises(LayoutError):
+            FPVA(
+                4,
+                4,
+                obstacles=[Cell(2, 2)],
+                channels=[edge_between(Cell(2, 2), Cell(2, 3))],
+                ports=_ports(4),
+            )
+
+    def test_port_into_obstacle(self):
+        with pytest.raises(LayoutError):
+            FPVA(3, 3, obstacles=[Cell(1, 1)], ports=[source(Side.WEST, 1), sink(Side.EAST, 3)])
+
+    def test_duplicate_port_position(self):
+        with pytest.raises(LayoutError):
+            FPVA(3, 3, ports=[source(Side.WEST, 1), sink(Side.WEST, 1)])
+
+    def test_duplicate_port_names(self):
+        with pytest.raises(LayoutError):
+            FPVA(
+                3,
+                3,
+                ports=[source(Side.WEST, 1, "p"), sink(Side.EAST, 3, "p")],
+            )
+
+    def test_shorted_valve_rejected(self):
+        # A U-shaped channel around cells (1,1),(1,2),(2,2),(2,1) shorts the
+        # valve between (1,1) and (2,1).
+        with pytest.raises(LayoutError, match="shorted"):
+            (
+                FPVABuilder(3, 3)
+                .channel_edge(Cell(1, 1), Cell(1, 2))
+                .channel_edge(Cell(1, 2), Cell(2, 2))
+                .channel_edge(Cell(2, 2), Cell(2, 1))
+                .source(Side.WEST, 3)
+                .sink(Side.EAST, 3)
+                .build()
+            )
+
+
+class TestChannelComponents:
+    def test_straight_channel_one_component(self):
+        fpva = (
+            FPVABuilder(5, 5)
+            .channel(Cell(3, 1), "east", 3)
+            .source(Side.WEST, 1)
+            .sink(Side.EAST, 5)
+            .build()
+        )
+        assert len(fpva.channel_components) == 1
+        assert fpva.channel_components[0] == frozenset(
+            Cell(3, c) for c in range(1, 5)
+        )
+
+    def test_disjoint_channels_two_components(self):
+        fpva = (
+            FPVABuilder(6, 6)
+            .channel(Cell(2, 2), "east", 2)
+            .channel(Cell(5, 2), "east", 2)
+            .source(Side.WEST, 1)
+            .sink(Side.EAST, 6)
+            .build()
+        )
+        assert len(fpva.channel_components) == 2
+
+    def test_no_channels_no_components(self):
+        assert full_layout(4, 4).channel_components == ()

@@ -1,0 +1,47 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.size == 5 and args.strategy == "auto"
+
+    def test_table1_size_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--size", "7"])
+
+
+class TestCommands:
+    def test_show(self, capsys):
+        assert main(["show", "--size", "3", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "3x3 cells" in out and "S" in out and "M" in out
+
+    def test_generate_with_json(self, tmp_path, capsys):
+        out_file = tmp_path / "suite.json"
+        code = main(
+            ["generate", "--size", "3", "--full", "--out", str(out_file), "--coverage"]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["dimensions"] == [3, 3]
+        assert payload["flow_paths"]
+        out = capsys.readouterr().out
+        assert "coverage:" in out and "0 missing" in out
+
+    def test_campaign_exit_code(self, capsys):
+        code = main(
+            ["campaign", "--size", "3", "--full", "--trials", "10", "--max-faults", "2"]
+        )
+        assert code == 0
+        assert "100.00%" in capsys.readouterr().out

@@ -1,0 +1,90 @@
+"""Cut-set generation: separation, observability, constraint (9)."""
+
+import pytest
+
+from repro.core.cutsets import CutSetGenerator, Wall, closure_repair
+from repro.core.validate import validate_vector
+from repro.fpva import table1_layout
+from repro.fpva.geometry import Junction
+from repro.ilp import SolveOptions
+from repro.sim import ChipUnderTest, StuckAt1, Tester
+
+OPTS = SolveOptions(time_limit=60)
+
+
+@pytest.fixture(scope="module", params=["ilp", "sweep"])
+def tiny_cuts(request):
+    from repro.fpva import full_layout
+
+    fpva = full_layout(3, 3, name=f"cuts-{request.param}")
+    gen = CutSetGenerator(fpva, strategy=request.param, solve_options=OPTS)
+    return fpva, gen, gen.generate()
+
+
+class TestGeneration:
+    def test_full_sa1_coverage(self, tiny_cuts):
+        fpva, gen, result = tiny_cuts
+        assert not result.uncovered
+        assert result.covered == set(fpva.valves)
+
+    def test_every_wall_separates(self, tiny_cuts):
+        fpva, gen, result = tiny_cuts
+        for wall in result.walls:
+            assert gen.wall_separates(wall)
+
+    def test_vectors_expect_dark_meters(self, tiny_cuts):
+        fpva, gen, result = tiny_cuts
+        for vec in result.vectors:
+            assert not any(vec.expected.values())
+            report = validate_vector(fpva, vec)
+            assert report.ok, report.issues
+
+    def test_single_sa1_detected_by_cuts_alone(self, tiny_cuts):
+        fpva, gen, result = tiny_cuts
+        tester = Tester(fpva)
+        for valve in fpva.valves:
+            chip = ChipUnderTest(fpva, [StuckAt1(valve)])
+            assert tester.run(chip, result.vectors).fault_detected, valve
+
+
+class TestTable1Counts:
+    @pytest.mark.parametrize(
+        "n,paper_nc", [(5, 8), (10, 18), (15, 28), (20, 38), (30, 58)]
+    )
+    def test_sweep_matches_paper(self, n, paper_nc):
+        fpva = table1_layout(n)
+        result = CutSetGenerator(fpva, strategy="sweep").generate()
+        assert result.nc_cuts == paper_nc
+        assert not result.uncovered
+
+
+class TestClosureRepair:
+    def test_chord_valve_added(self, tiny):
+        # Junctions of a straight wall plus a dangling junction adjacent to
+        # one of them: the chord valve must be forced in.
+        wall_junctions = [Junction(0, 1), Junction(1, 1), Junction(1, 2)]
+        forced = closure_repair(tiny, wall_junctions)
+        duals = {frozenset(v.dual()) for v in forced}
+        assert frozenset((Junction(0, 1), Junction(1, 1))) in duals
+        assert frozenset((Junction(1, 1), Junction(1, 2))) in duals
+
+    def test_no_spurious_closures(self, tiny):
+        forced = closure_repair(tiny, [Junction(0, 1)])
+        assert forced == set()
+
+
+class TestWallThrough:
+    def test_mopup_wall_contains_valve(self, tiny):
+        gen = CutSetGenerator(tiny, strategy="sweep")
+        for valve in tiny.valves[:6]:
+            wall = gen._wall_through(valve)
+            assert wall is not None
+            assert valve in wall.valves
+            assert gen.wall_separates(wall)
+
+    def test_observability_excludes_shadowed(self, tiny):
+        gen = CutSetGenerator(tiny, strategy="sweep")
+        result = gen.generate()
+        for wall, vec in zip(result.walls, result.vectors):
+            observable = gen.observable_members(wall)
+            assert observable <= wall.valves

@@ -1,0 +1,104 @@
+"""Fault model and chip-under-test semantics."""
+
+import pytest
+
+from repro.fpva import full_layout
+from repro.fpva.geometry import Cell, edge_between
+from repro.sim import (
+    ChipUnderTest,
+    ControlLeak,
+    StuckAt0,
+    StuckAt1,
+    control_leak_faults,
+    fault_universe,
+    faults_compatible,
+    faulty_valves,
+    stuck_at_faults,
+)
+
+
+class TestFaultUniverse:
+    def test_stuck_at_counts(self, tiny):
+        assert len(stuck_at_faults(tiny)) == 2 * tiny.valve_count
+
+    def test_universe_includes_leaks(self, tiny):
+        uni = fault_universe(tiny)
+        leaks = [f for f in uni if isinstance(f, ControlLeak)]
+        assert leaks and len(uni) == 2 * tiny.valve_count + len(leaks)
+
+    def test_universe_without_leaks(self, tiny):
+        uni = fault_universe(tiny, include_control_leaks=False)
+        assert len(uni) == 2 * tiny.valve_count
+
+    def test_leak_normalization(self, tiny):
+        a, b = tiny.valves[0], tiny.valves[1]
+        assert ControlLeak(a, b) == ControlLeak(b, a)
+
+    def test_leak_same_valve_rejected(self, tiny):
+        with pytest.raises(ValueError):
+            ControlLeak(tiny.valves[0], tiny.valves[0])
+
+    def test_compatibility(self, tiny):
+        v = tiny.valves[0]
+        assert not faults_compatible([StuckAt0(v), StuckAt1(v)])
+        assert not faults_compatible([StuckAt0(v), StuckAt0(v)])
+        assert faults_compatible([StuckAt0(v), StuckAt1(tiny.valves[1])])
+
+    def test_faulty_valves(self, tiny):
+        a, b, c = tiny.valves[:3]
+        touched = faulty_valves([StuckAt0(a), ControlLeak(b, c)])
+        assert touched == {a, b, c}
+
+    def test_leak_candidates_are_adjacent(self, tiny):
+        for fault in control_leak_faults(tiny):
+            assert set(fault.a.dual()) & set(fault.b.dual())
+
+
+class TestChipUnderTest:
+    def test_fault_free_identity(self, tiny):
+        chip = ChipUnderTest(tiny)
+        opened = frozenset(tiny.valves[:5])
+        assert chip.effective_open_valves(opened) == opened
+
+    def test_stuck_at_overrides(self, tiny):
+        v0, v1 = tiny.valves[0], tiny.valves[1]
+        chip = ChipUnderTest(tiny, [StuckAt0(v0), StuckAt1(v1)])
+        effective = chip.effective_open_valves({v0})
+        assert v0 not in effective  # SA0 wins over the open command
+        assert v1 in effective  # SA1 keeps it open though commanded closed
+
+    def test_control_leak_propagates_closure(self, tiny):
+        a, b = tiny.valves[0], tiny.valves[1]
+        chip = ChipUnderTest(tiny, [ControlLeak(a, b)])
+        # a commanded closed, b commanded open -> leak closes b too.
+        effective = chip.effective_open_valves({b})
+        assert b not in effective
+        # Both commanded open -> nothing closes.
+        effective = chip.effective_open_valves({a, b})
+        assert {a, b} <= effective
+
+    def test_control_leak_chain(self, tiny):
+        a, b, c = tiny.valves[0], tiny.valves[1], tiny.valves[2]
+        chip = ChipUnderTest(tiny, [ControlLeak(a, b), ControlLeak(b, c)])
+        # a closed pressurizes b's line, which leaks on to c.
+        effective = chip.effective_open_valves({b, c})
+        assert b not in effective and c not in effective
+
+    def test_sa1_beats_leak(self, tiny):
+        a, b = tiny.valves[0], tiny.valves[1]
+        chip = ChipUnderTest(tiny, [ControlLeak(a, b), StuckAt1(b)])
+        effective = chip.effective_open_valves({b})
+        assert b in effective  # cannot close a stuck-open valve
+
+    def test_incompatible_set_rejected(self, tiny):
+        v = tiny.valves[0]
+        with pytest.raises(ValueError):
+            ChipUnderTest(tiny, [StuckAt0(v), StuckAt1(v)])
+
+    def test_fault_on_missing_valve_rejected(self, tiny):
+        bogus = edge_between(Cell(1, 1), Cell(1, 2))
+        other = full_layout(2, 2)
+        # The edge exists on tiny; build a fault for a valve not on `other`.
+        missing = edge_between(Cell(2, 2), Cell(2, 3))
+        with pytest.raises(ValueError):
+            ChipUnderTest(other, [StuckAt0(missing)])

@@ -1,0 +1,139 @@
+"""Unit and property tests for the lattice geometry."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fpva.geometry import (
+    Cell,
+    Edge,
+    Junction,
+    Orientation,
+    Side,
+    boundary_cell,
+    cells_adjacent,
+    edge_between,
+    full_grid_valve_count,
+    in_bounds,
+    is_boundary_junction,
+    iter_cells,
+    iter_interior_edges,
+    junctions_of_cell,
+    neighbors4,
+    perimeter_junction_cycle,
+    port_gap,
+    side_of_boundary_cell,
+)
+
+cells = st.builds(Cell, st.integers(1, 20), st.integers(1, 20))
+
+
+class TestEdges:
+    def test_normalization(self):
+        a, b = Cell(2, 3), Cell(2, 2)
+        e = edge_between(a, b)
+        assert e.a < e.b
+        assert edge_between(b, a) == e
+
+    def test_orientation(self):
+        assert edge_between(Cell(1, 1), Cell(1, 2)).orientation is Orientation.HORIZONTAL
+        assert edge_between(Cell(1, 1), Cell(2, 1)).orientation is Orientation.VERTICAL
+
+    def test_non_adjacent_rejected(self):
+        with pytest.raises(ValueError):
+            edge_between(Cell(1, 1), Cell(2, 2))
+        with pytest.raises(ValueError):
+            edge_between(Cell(1, 1), Cell(1, 1))
+
+    def test_other_endpoint(self):
+        e = edge_between(Cell(1, 1), Cell(1, 2))
+        assert e.other(Cell(1, 1)) == Cell(1, 2)
+        with pytest.raises(ValueError):
+            e.other(Cell(9, 9))
+
+    @given(cells)
+    def test_neighbors4_are_adjacent(self, c):
+        for nb in neighbors4(c):
+            assert cells_adjacent(c, nb)
+
+    def test_dual_of_horizontal(self):
+        # Valve between (r,c) and (r,c+1) crosses segment (r-1,c)-(r,c).
+        e = edge_between(Cell(3, 4), Cell(3, 5))
+        assert e.dual() == (Junction(2, 4), Junction(3, 4))
+
+    def test_dual_of_vertical(self):
+        e = edge_between(Cell(3, 4), Cell(4, 4))
+        assert e.dual() == (Junction(3, 3), Junction(3, 4))
+
+    @given(cells, st.sampled_from(["h", "v"]))
+    def test_dual_junctions_are_corners_of_both_cells(self, c, direction):
+        other = Cell(c.r, c.c + 1) if direction == "h" else Cell(c.r + 1, c.c)
+        e = edge_between(c, other)
+        u, w = e.dual()
+        for j in (u, w):
+            assert j in junctions_of_cell(c)
+            assert j in junctions_of_cell(other)
+
+    def test_dual_is_injective_on_grid(self):
+        duals = [frozenset(e.dual()) for e in iter_interior_edges(6, 7)]
+        assert len(duals) == len(set(duals))
+
+
+class TestCounting:
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_interior_edge_count(self, nr, nc):
+        edges = list(iter_interior_edges(nr, nc))
+        assert len(edges) == full_grid_valve_count(nr, nc)
+        assert len(set(edges)) == len(edges)
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_cell_count(self, nr, nc):
+        assert len(list(iter_cells(nr, nc))) == nr * nc
+
+
+class TestPerimeter:
+    @given(st.integers(1, 10), st.integers(1, 10))
+    def test_cycle_length(self, nr, nc):
+        cycle = perimeter_junction_cycle(nr, nc)
+        assert len(cycle) == 2 * (nr + nc)
+        assert len(set(cycle)) == len(cycle)
+
+    @given(st.integers(2, 10), st.integers(2, 10))
+    def test_cycle_consecutive_adjacent(self, nr, nc):
+        cycle = perimeter_junction_cycle(nr, nc)
+        for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+            assert abs(a.r - b.r) + abs(a.c - b.c) == 1
+            assert is_boundary_junction(a, nr, nc)
+
+
+class TestPorts:
+    def test_boundary_cells(self):
+        assert boundary_cell(Side.NORTH, 3, 5, 7) == Cell(1, 3)
+        assert boundary_cell(Side.SOUTH, 3, 5, 7) == Cell(5, 3)
+        assert boundary_cell(Side.WEST, 2, 5, 7) == Cell(2, 1)
+        assert boundary_cell(Side.EAST, 2, 5, 7) == Cell(2, 7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            boundary_cell(Side.NORTH, 8, 5, 7)
+
+    def test_port_gap_on_perimeter(self):
+        nr = nc = 5
+        cycle = perimeter_junction_cycle(nr, nc)
+        pos = {j: i for i, j in enumerate(cycle)}
+        for side in Side:
+            cell = boundary_cell(side, 2, nr, nc)
+            g1, g2 = port_gap(side, cell)
+            assert abs(pos[g1] - pos[g2]) in (1, len(cycle) - 1)
+
+    def test_side_of_boundary_cell(self):
+        assert side_of_boundary_cell(Cell(1, 1), 5, 5) == [Side.NORTH, Side.WEST]
+        assert side_of_boundary_cell(Cell(3, 5), 5, 5) == [Side.EAST]
+        assert side_of_boundary_cell(Cell(3, 3), 5, 5) == []
+
+    @given(st.integers(2, 8))
+    def test_in_bounds(self, n):
+        assert in_bounds(Cell(1, 1), n, n)
+        assert in_bounds(Cell(n, n), n, n)
+        assert not in_bounds(Cell(0, 1), n, n)
+        assert not in_bounds(Cell(1, n + 1), n, n)

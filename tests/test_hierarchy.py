@@ -1,0 +1,101 @@
+"""Hierarchical flow-path generation (section III-B-4)."""
+
+import pytest
+
+from repro.core.coverage import measure_coverage
+from repro.core.hierarchy import BlockGrid, HierarchicalPathGenerator, block_graph
+from repro.core.validate import validate_vector
+from repro.fpva import FPVABuilder, Side, full_layout, table1_layout
+from repro.fpva.geometry import Cell
+
+
+class TestBlockGrid:
+    def test_dimensions(self):
+        grid = BlockGrid(table1_layout(20), subblock=5)
+        assert (grid.brows, grid.bcols) == (4, 4)
+        assert grid.hierarchy_label() == "4x4"
+
+    def test_block_of(self):
+        grid = BlockGrid(table1_layout(10), subblock=5)
+        assert grid.block_of(Cell(1, 1)) == (1, 1)
+        assert grid.block_of(Cell(5, 5)) == (1, 1)
+        assert grid.block_of(Cell(6, 5)) == (2, 1)
+        assert grid.block_of(Cell(10, 10)) == (2, 2)
+
+    def test_cells_of_excludes_obstacles(self):
+        fpva = table1_layout(15)  # obstacle at (8,8)
+        grid = BlockGrid(fpva, subblock=5)
+        cells = grid.cells_of((2, 2))
+        assert Cell(8, 8) not in cells
+        assert len(cells) == 24
+
+    def test_uneven_partition(self):
+        grid = BlockGrid(full_layout(7, 7), subblock=5)
+        assert (grid.brows, grid.bcols) == (2, 2)
+        assert len(grid.cells_of((2, 2))) == 4  # the 2x2 remainder
+
+    def test_border_valves(self):
+        grid = BlockGrid(full_layout(10, 10), subblock=5)
+        border = grid.border_valves((1, 1), (1, 2))
+        assert len(border) == 5
+        for valve in border:
+            assert valve.a.c == 5 and valve.b.c == 6
+
+
+class TestBlockGraph:
+    def test_structure(self):
+        fpva = table1_layout(10)
+        g = block_graph(BlockGrid(fpva, subblock=5))
+        blocks = [n for n in g.nodes if isinstance(n, tuple) and len(n) == 2]
+        assert len(blocks) == 4
+        assert len(fpva.sources) + len(fpva.sinks) == 2
+        # 4 block-block borders + 2 port attachments.
+        assert g.number_of_edges() == 6
+
+    def test_border_attribute(self):
+        fpva = full_layout(10, 10)
+        g = block_graph(BlockGrid(fpva, subblock=5))
+        assert len(g.edges[(1, 1), (1, 2)]["border"]) == 5
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def result10(self):
+        fpva = table1_layout(10)
+        gen = HierarchicalPathGenerator(fpva)
+        return fpva, gen, gen.generate()
+
+    def test_full_observable_coverage(self, result10):
+        fpva, gen, res = result10
+        report = measure_coverage(fpva, res.vectors, include_leak_pairs=False)
+        assert not report.sa0_missing
+
+    def test_vectors_are_legal_paths(self, result10):
+        fpva, gen, res = result10
+        for vec in res.vectors:
+            report = validate_vector(fpva, vec)
+            assert report.ok, report.issues
+
+    def test_path_count_in_paper_regime(self, result10):
+        fpva, gen, res = result10
+        # Paper: 4 paths for 10x10 hierarchical; allow the same order of
+        # magnitude but far below the naive per-valve count.
+        assert res.np_paths <= 16
+
+    def test_single_block_array(self):
+        fpva = table1_layout(5)  # 1x1 block grid
+        res = HierarchicalPathGenerator(fpva).generate()
+        report = measure_coverage(fpva, res.vectors, include_leak_pairs=False)
+        assert not report.sa0_missing
+
+    def test_array_with_obstacles(self):
+        fpva = (
+            FPVABuilder(8, 8, name="hier-obstacle")
+            .obstacle_rect(4, 4, 5, 5)
+            .source(Side.WEST, 1)
+            .sink(Side.EAST, 8)
+            .build()
+        )
+        res = HierarchicalPathGenerator(fpva, subblock=4).generate()
+        report = measure_coverage(fpva, res.vectors, include_leak_pairs=False)
+        assert not report.sa0_missing

@@ -1,0 +1,160 @@
+"""Unit tests for the MILP modeling language."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import BINARY, CONTINUOUS, INTEGER, Model
+from repro.ilp.model import LE, GE, EQ, LinExpr, ModelError
+
+
+class TestVar:
+    def test_factory_methods(self):
+        m = Model()
+        b = m.binary_var("b")
+        i = m.integer_var("i", lb=1, ub=9)
+        c = m.continuous_var("c", ub=2.5)
+        assert (b.vtype, i.vtype, c.vtype) == (BINARY, INTEGER, CONTINUOUS)
+        assert (b.lb, b.ub) == (0.0, 1.0)
+        assert (i.lb, i.ub) == (1.0, 9.0)
+        assert b.is_integral and i.is_integral and not c.is_integral
+
+    def test_auto_naming_unique(self):
+        m = Model()
+        names = {m.add_var().name for _ in range(10)}
+        assert len(names) == 10
+
+    def test_bad_bounds_rejected(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_var(lb=2.0, ub=1.0)
+
+    def test_bad_vtype_rejected(self):
+        m = Model()
+        with pytest.raises(ModelError):
+            m.add_var(vtype="boolean")
+
+    def test_indices_sequential(self):
+        m = Model()
+        vars_ = [m.add_var() for _ in range(5)]
+        assert [v.index for v in vars_] == list(range(5))
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        m = Model()
+        x, y = m.binary_var("x"), m.binary_var("y")
+        expr = 2 * x + 3 * y - 1
+        assert expr.terms[x] == 2.0
+        assert expr.terms[y] == 3.0
+        assert expr.constant == -1.0
+
+    def test_subtraction_and_negation(self):
+        m = Model()
+        x, y = m.binary_var(), m.binary_var()
+        expr = x - y
+        assert expr.terms[x] == 1.0 and expr.terms[y] == -1.0
+        neg = -expr
+        assert neg.terms[x] == -1.0 and neg.terms[y] == 1.0
+
+    def test_rsub(self):
+        m = Model()
+        x = m.binary_var()
+        expr = 5 - x
+        assert expr.constant == 5.0
+        assert expr.terms[x] == -1.0
+
+    def test_zero_coefficients_dropped(self):
+        m = Model()
+        x = m.binary_var()
+        expr = x - x
+        assert not expr.terms
+
+    def test_scalar_multiplication_only(self):
+        m = Model()
+        x, y = m.binary_var(), m.binary_var()
+        with pytest.raises(ModelError):
+            _ = x.to_expr() * y.to_expr()
+
+    def test_evaluate(self):
+        m = Model()
+        x, y = m.binary_var(), m.binary_var()
+        expr = 2 * x + 3 * y + 1
+        assert expr.evaluate({x: 1, y: 0}) == 3.0
+
+    def test_model_total(self):
+        m = Model()
+        xs = [m.binary_var() for _ in range(4)]
+        total = Model.total(xs)
+        assert all(total.terms[x] == 1.0 for x in xs)
+
+
+class TestConstraint:
+    def test_senses(self):
+        m = Model()
+        x = m.binary_var()
+        le = x <= 1
+        ge = x >= 1
+        eq = x.to_expr() == 1
+        assert (le.sense, ge.sense, eq.sense) == (LE, GE, EQ)
+
+    def test_rhs_folding(self):
+        m = Model()
+        x = m.binary_var()
+        con = (x + 2) <= 5
+        assert con.rhs == pytest.approx(3.0)
+
+    def test_satisfied_by(self):
+        m = Model()
+        x, y = m.binary_var(), m.binary_var()
+        con = x + y >= 1
+        assert con.satisfied_by({x: 1, y: 0})
+        assert not con.satisfied_by({x: 0, y: 0})
+
+    def test_foreign_variable_rejected(self):
+        m1, m2 = Model(), Model()
+        x = m1.binary_var()
+        with pytest.raises(ModelError):
+            m2.add_constraint(x >= 1)
+
+
+class TestStandardForm:
+    def test_minimize_export(self):
+        m = Model()
+        x = m.binary_var()
+        y = m.continuous_var(ub=4.0)
+        m.add_constraint(x + 2 * y <= 5)
+        m.add_constraint(x + y >= 1)
+        m.add_constraint(x.to_expr() == 1)
+        m.minimize(3 * x + y)
+        form = m.to_standard_form()
+        assert form.c.tolist() == [3.0, 1.0]
+        assert form.sign == 1.0
+        assert form.integrality.tolist() == [1, 0]
+        A = form.A.toarray()
+        assert A.shape == (3, 2)
+        assert np.isinf(form.con_lb[0]) and form.con_ub[0] == 5.0
+        assert form.con_lb[1] == 1.0 and np.isinf(form.con_ub[1])
+        assert form.con_lb[2] == form.con_ub[2] == 1.0
+
+    def test_maximize_negates(self):
+        m = Model()
+        x = m.binary_var()
+        m.maximize(2 * x)
+        form = m.to_standard_form()
+        assert form.sign == -1.0
+        assert form.c.tolist() == [-2.0]
+
+    def test_objective_constant_carried(self):
+        m = Model()
+        x = m.binary_var()
+        m.minimize(x + 10)
+        assert m.to_standard_form().objective_constant == 10.0
+
+    def test_is_feasible_point(self):
+        m = Model()
+        x = m.integer_var(ub=3)
+        m.add_constraint(x >= 2)
+        assert m.is_feasible_point({x: 2})
+        assert not m.is_feasible_point({x: 1})
+        assert not m.is_feasible_point({x: 2.5})
+        assert not m.is_feasible_point({x: 4})

@@ -1,0 +1,71 @@
+"""The Table I benchmark layouts must match the published figures exactly."""
+
+import pytest
+
+from repro.fpva import (
+    TABLE1_PAPER,
+    TABLE1_SIZES,
+    TABLE1_VALVE_COUNTS,
+    all_table1_layouts,
+    fig8_layout,
+    fig9_layout,
+    full_layout,
+    table1_layout,
+)
+
+
+class TestTable1Layouts:
+    @pytest.mark.parametrize("n", TABLE1_SIZES)
+    def test_valve_counts_match_paper(self, n):
+        assert table1_layout(n).valve_count == TABLE1_VALVE_COUNTS[n]
+
+    @pytest.mark.parametrize("n", TABLE1_SIZES)
+    def test_ports_on_opposite_corners(self, n):
+        fpva = table1_layout(n)
+        (src,) = fpva.sources
+        (snk,) = fpva.sinks
+        assert fpva.port_cell(src).r == 1
+        assert fpva.port_cell(snk).r == n
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            table1_layout(7)
+
+    def test_all_layouts(self):
+        layouts = all_table1_layouts()
+        assert set(layouts) == set(TABLE1_SIZES)
+
+    def test_paper_rows_consistent(self):
+        # The stored Table I rows must be internally consistent.
+        for row in TABLE1_PAPER:
+            assert row.total_vectors == row.np_paths + row.nc_cuts + row.nl_leak
+            n = int(row.dimension.split("x")[0])
+            assert TABLE1_VALVE_COUNTS[n] == row.nv
+
+    def test_removed_budget_identity(self):
+        # n_v = (2n^2 - 2n) - (n/5)^2 for every published array.
+        for n in TABLE1_SIZES:
+            expected = 2 * n * n - 2 * n - (n // 5) ** 2
+            assert TABLE1_VALVE_COUNTS[n] == expected
+
+
+class TestFigureLayouts:
+    def test_fig8_is_full_10x10(self):
+        fpva = fig8_layout()
+        assert (fpva.nr, fpva.nc) == (10, 10)
+        assert not fpva.obstacles and not fpva.channels
+        assert fpva.valve_count == 180
+
+    def test_fig9_three_channels_two_obstacles(self):
+        fpva = fig9_layout()
+        assert (fpva.nr, fpva.nc) == (20, 20)
+        assert len(fpva.obstacles) == 2
+        assert fpva.valve_count == 744
+        # Three straight channel runs.
+        components = fpva.channel_components
+        assert len(components) == 3
+
+    def test_full_layout_has_no_structure(self):
+        fpva = full_layout(6, 8)
+        assert fpva.valve_count == 2 * 6 * 8 - 6 - 8
+        assert not fpva.obstacles and not fpva.channels
