@@ -1,0 +1,97 @@
+"""Adaptive vs full-suite diagnosis — applied-vector counts and wall-clock.
+
+The full-suite path applies all N generated vectors to every chip before
+the dictionary lookup.  The adaptive engine schedules vectors by
+information gain and stops at the full-suite verdict; this bench records
+how many applications that actually takes, per scenario, on the 8x8
+acceptance array and the Table I layouts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import TRIALS, pedantic_once
+from repro.core import generate_suite
+from repro.engine import AdaptiveDiagnoser, get_scenario, scenario_names
+from repro.fpva import full_layout, table1_layout
+from repro.sim import ChipUnderTest, FaultDictionary
+
+
+def _session_stats(fpva, vectors, scenario, trials, seed=0):
+    universe = scenario.universe(fpva)
+    dictionary = FaultDictionary(fpva, vectors, universe=universe)
+    engine = AdaptiveDiagnoser(dictionary)
+    rng = random.Random(seed)
+    applied = []
+    mismatches = 0
+    t_adaptive = t_full = 0.0
+    for _ in range(trials):
+        chip = ChipUnderTest(fpva, scenario.sample(universe, rng, 1))
+        t0 = time.perf_counter()
+        session = engine.diagnose(chip)
+        t_adaptive += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        full = dictionary.diagnose_chip(chip)
+        t_full += time.perf_counter() - t0
+        applied.append(session.num_applied)
+        if session.report.candidates != full.candidates:
+            mismatches += 1
+    return {
+        "mean_applied": sum(applied) / len(applied),
+        "max_applied": max(applied),
+        "full": len(vectors),
+        "mismatches": mismatches,
+        "t_adaptive": t_adaptive,
+        "t_full": t_full,
+    }
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_adaptive_vector_savings_8x8(benchmark, scenario_name, capsys):
+    """Acceptance: ≥30% fewer applied vectors than the full suite on 8x8."""
+    fpva = full_layout(8, 8, name="adaptive-8x8")
+    vectors = generate_suite(fpva).all_vectors()
+    scenario = get_scenario(scenario_name)
+    stats = pedantic_once(
+        benchmark, _session_stats, fpva, vectors, scenario, TRIALS
+    )
+    benchmark.extra_info.update(stats)
+    saving = 1.0 - stats["mean_applied"] / stats["full"]
+    with capsys.disabled():
+        print(
+            f"\n8x8 {scenario_name}: mean {stats['mean_applied']:.1f} / "
+            f"{stats['full']} vectors ({saving:.0%} saved), "
+            f"max {stats['max_applied']}, "
+            f"adaptive {stats['t_adaptive']:.2f}s vs full {stats['t_full']:.2f}s, "
+            f"{stats['mismatches']} verdict mismatches"
+        )
+    assert stats["mismatches"] == 0
+    assert saving >= 0.30
+
+
+@pytest.mark.parametrize("n", (5, 10))
+def test_adaptive_savings_table1(benchmark, n, capsys):
+    """The same comparison on the paper's benchmark layouts."""
+    fpva = table1_layout(n)
+    vectors = generate_suite(fpva).all_vectors()
+    stats = pedantic_once(
+        benchmark,
+        _session_stats,
+        fpva,
+        vectors,
+        get_scenario("stuck-at"),
+        TRIALS,
+    )
+    benchmark.extra_info.update(stats)
+    saving = 1.0 - stats["mean_applied"] / stats["full"]
+    with capsys.disabled():
+        print(
+            f"\n{fpva.name}: mean {stats['mean_applied']:.1f} / {stats['full']} "
+            f"vectors ({saving:.0%} saved), {stats['mismatches']} mismatches"
+        )
+    assert stats["mismatches"] == 0
+    assert saving > 0.0

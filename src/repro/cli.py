@@ -7,17 +7,30 @@ Commands
 ``table1``    Regenerate the paper's Table I rows.
 ``show``      Render an array (optionally with its flow paths) as ASCII.
 ``campaign``  Run a random fault-injection campaign against a generated
-              suite and report detection rates.
+              suite and report detection rates.  ``--workers N`` shards the
+              trials over a process pool (same results, less wall-clock);
+              ``--scenario NAME`` swaps the fault workload.
+``diagnose``  Inject random faults and localize them with the dictionary —
+              ``--adaptive`` schedules vectors one at a time by information
+              gain instead of applying the whole suite.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 
 from repro.core import TestGenerator, measure_coverage, render_array, render_paths
+from repro.engine import (
+    AdaptiveDiagnoser,
+    get_scenario,
+    run_sweep as run_sweep_sharded,
+    scenario_names,
+)
 from repro.fpva import TABLE1_SIZES, full_layout, table1_layout
-from repro.sim import run_sweep
+from repro.sim import ChipUnderTest, FaultDictionary
 
 
 def _layout(args):
@@ -76,12 +89,20 @@ def cmd_campaign(args) -> int:
     fpva = _layout(args)
     suite = TestGenerator(fpva).generate().testset
     print(suite.summary())
-    sweep = run_sweep(
+    scenario = get_scenario(args.scenario) if args.scenario else None
+    fault_counts = tuple(range(1, args.max_faults + 1))
+    # Always the sharded runner: its workers<=1 branch runs the identical
+    # shard structure serially, so --workers only changes wall-clock.
+    print(f"scenario={scenario.name if scenario else 'stuck-at'} "
+          f"workers={args.workers}")
+    sweep = run_sweep_sharded(
         fpva,
         suite.all_vectors(),
-        fault_counts=tuple(range(1, args.max_faults + 1)),
+        fault_counts=fault_counts,
         trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
+        scenario=scenario,
     )
     failures = 0
     for k, result in sorted(sweep.items()):
@@ -91,6 +112,46 @@ def cmd_campaign(args) -> int:
         )
         failures += result.trials - result.detected
     return 0 if failures == 0 else 1
+
+
+def cmd_diagnose(args) -> int:
+    fpva = _layout(args)
+    suite = TestGenerator(fpva).generate().testset
+    print(suite.summary())
+    scenario = get_scenario(args.scenario)
+    universe = scenario.universe(fpva)
+    dictionary = FaultDictionary(fpva, suite.all_vectors(), universe=universe)
+    engine = AdaptiveDiagnoser(dictionary) if args.adaptive else None
+    rng = random.Random(args.seed)
+
+    localized = unique = 0
+    applied_total = 0
+    t0 = time.perf_counter()
+    for trial in range(args.trials):
+        faults = scenario.sample(universe, rng, args.faults)
+        chip = ChipUnderTest(fpva, faults)
+        if engine is not None:
+            session = engine.diagnose(chip)
+            report, applied = session.report, session.num_applied
+        else:
+            report, applied = dictionary.diagnose_chip(chip), suite.total
+        applied_total += applied
+        localized += report.localized
+        unique += report.is_unique
+        hit = any(set(c) == set(faults) for c in report.candidates)
+        print(
+            f"  chip{trial}: injected {list(faults)} -> "
+            f"{len(report.candidates)} candidate(s) in {applied} vectors"
+            f"{' [exact]' if hit else ''}"
+        )
+    elapsed = time.perf_counter() - t0
+    mode = "adaptive" if engine is not None else "full-suite"
+    print(
+        f"{mode}: {localized}/{args.trials} localized, {unique} unique, "
+        f"mean {applied_total / max(args.trials, 1):.1f}/{suite.total} vectors "
+        f"applied, {elapsed:.2f}s"
+    )
+    return 0 if localized == args.trials else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,7 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trials", type=int, default=200)
     p.add_argument("--max-faults", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool size; results are worker-count independent")
+    p.add_argument("--scenario", choices=scenario_names(), default=None,
+                   help="fault workload (default: the paper's stuck-at space)")
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("diagnose", help="inject faults and localize them")
+    _add_array_args(p)
+    p.add_argument("--adaptive", action="store_true",
+                   help="schedule vectors by information gain, one at a time")
+    p.add_argument("--scenario", choices=scenario_names(), default="stuck-at")
+    p.add_argument("--faults", type=int, default=1,
+                   help="faults injected per chip (dictionary models singles)")
+    p.add_argument("--trials", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_diagnose)
     return parser
 
 

@@ -23,6 +23,12 @@ from repro.core.pathmodel import (
 )
 from repro.core.paths import FlowPathGenerator, FlowPathResult, build_flow_path_problem
 from repro.core.render import coverage_map, render_array, render_paths, render_vector
+from repro.core.repair import (
+    HardeningReport,
+    find_masked_stuck_pairs,
+    harden_double_faults,
+    synthesize_pair_breaker,
+)
 from repro.core.routing import (
     RoutingError,
     contracted_cell_graph,
@@ -77,6 +83,10 @@ __all__ = [
     "render_array",
     "render_paths",
     "render_vector",
+    "HardeningReport",
+    "find_masked_stuck_pairs",
+    "harden_double_faults",
+    "synthesize_pair_breaker",
     "RoutingError",
     "contracted_cell_graph",
     "disjoint_route_through",

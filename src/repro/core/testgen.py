@@ -15,6 +15,7 @@ from repro.core.heuristic import GreedyPathGenerator
 from repro.core.hierarchy import BlockGrid, HierarchicalPathGenerator
 from repro.core.leakage import LeakageGenerator
 from repro.core.paths import FlowPathGenerator
+from repro.core.repair import HardeningReport, harden_double_faults
 from repro.core.vectors import TestSet
 from repro.fpva.array import FPVA
 from repro.ilp import SolveOptions
@@ -40,6 +41,8 @@ class GenerationReport:
     tc_seconds: float = 0.0
     nl_leak: int = 0
     tl_seconds: float = 0.0
+    #: Populated when double-fault hardening ran (see core/repair.py).
+    hardening: HardeningReport | None = None
 
     @property
     def total_vectors(self) -> int:
@@ -81,6 +84,7 @@ class TestGenerator:
         solve_options: SolveOptions | None = None,
         include_leakage: bool = True,
         leakage_standalone: bool = True,
+        harden_double_faults: bool = False,
     ):
         if path_strategy not in PATH_STRATEGIES:
             raise ValueError(f"path_strategy must be one of {PATH_STRATEGIES}")
@@ -93,6 +97,7 @@ class TestGenerator:
         self.solve_options = solve_options
         self.include_leakage = include_leakage
         self.leakage_standalone = leakage_standalone
+        self.harden_double_faults = harden_double_faults
 
     def _resolve_path_strategy(self) -> str:
         if self.path_strategy != "auto":
@@ -149,6 +154,12 @@ class TestGenerator:
             report.tl_seconds = time.perf_counter() - t0
             testset.leakage = leaks.vectors
             report.nl_leak = len(leaks.vectors)
+
+        # Optional mixed-pair hardening (quadratic audit — opt-in).
+        if self.harden_double_faults:
+            report.hardening = harden_double_faults(self.fpva, testset)
+            report.np_paths = len(testset.flow_paths)
+            report.nc_cuts = len(testset.cut_sets)
 
         return GeneratedSuite(testset=testset, report=report)
 

@@ -1,0 +1,239 @@
+"""Adaptive sequential diagnosis: entropy-guided vector scheduling.
+
+The full-suite path applies every generated vector and looks the complete
+syndrome up in a :class:`~repro.sim.diagnosis.FaultDictionary`.  A real
+tester does not need to: after each observation, whole regions of the
+hypothesis space become inconsistent and further vectors that cannot
+separate the survivors carry no information.  This module schedules
+vectors one at a time, greedily maximizing the Shannon entropy of the
+partition each unapplied vector induces on the surviving syndrome
+classes, applies the winner via :meth:`Tester.apply`, prunes, and stops
+as soon as the diagnosis is unique or the residual ambiguity is
+irreducible (one syndrome class left — its members are indistinguishable
+under the *whole* suite, so no further vector can help).
+
+Guarantee: for any chip whose behaviour matches one of the dictionary's
+hypotheses (including the fault-free chip), the returned
+:class:`DiagnosisReport` — syndrome and candidate list — is identical to
+what :meth:`FaultDictionary.diagnose_chip` produces from the full suite,
+in far fewer applied vectors.  Chips *outside* the hypothesis space get a
+best-effort verdict: if the observations contradict every hypothesis the
+candidate list is empty (as with the full suite), but an off-model chip
+that mimics a modelled fault on every applied vector is reported as that
+fault — the same conclusion a tester working under the fault-model
+assumption would reach.  Either way every returned candidate is
+consistent with every outcome actually observed.
+
+Everything here needs only ``Tester.apply``; a future compiled
+reachability kernel (bitmask ``reach``) can accelerate the underlying
+simulation without touching this module or its API.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sim.chip import ChipUnderTest
+from repro.sim.diagnosis import DiagnosisReport, FaultDictionary, Syndrome
+from repro.sim.faults import Fault
+from repro.sim.tester import Tester, VectorOutcome
+
+#: Observation signature: the canonical hashable form of a meter readout.
+Signature = tuple
+
+
+def _signature(observed: dict) -> Signature:
+    return tuple(sorted(observed.items()))
+
+
+@dataclass
+class _Hypothesis:
+    """One syndrome equivalence class (or the fault-free hypothesis)."""
+
+    syndrome: Syndrome
+    fault_sets: list[tuple[Fault, ...]]
+    signatures: tuple[Signature, ...]  # predicted readout per vector index
+
+    @property
+    def weight(self) -> int:
+        """Prior mass: how many concrete fault sets the class contains."""
+        return max(1, len(self.fault_sets))
+
+
+@dataclass
+class AdaptiveStep:
+    """One scheduled application, for tracing/benchmarking."""
+
+    vector_name: str
+    entropy_bits: float
+    hypotheses_before: int
+    hypotheses_after: int
+
+
+@dataclass
+class AdaptiveDiagnosisResult:
+    """Outcome of one adaptive session."""
+
+    report: DiagnosisReport
+    outcomes: list[VectorOutcome] = field(default_factory=list)
+    steps: list[AdaptiveStep] = field(default_factory=list)
+    total_vectors: int = 0
+    exhausted_budget: bool = False
+
+    @property
+    def num_applied(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the full suite this session did *not* apply."""
+        if not self.total_vectors:
+            return 0.0
+        return 1.0 - self.num_applied / self.total_vectors
+
+
+class AdaptiveDiagnoser:
+    """Schedules vectors by information gain over a fault dictionary.
+
+    Build once per (array, suite) pair — construction derives each
+    syndrome class's predicted readout for every vector from the
+    dictionary's stored syndromes, with no extra simulation — then call
+    :meth:`diagnose` per chip.
+    """
+
+    def __init__(self, dictionary: FaultDictionary):
+        self.dictionary = dictionary
+        self.vectors = list(dictionary.vectors)
+        self.tester: Tester = dictionary.tester
+        expected = tuple(_signature(dict(v.expected)) for v in self.vectors)
+        name_to_index = {v.name: i for i, v in enumerate(self.vectors)}
+
+        # The fault-free hypothesis: every vector reads as expected.  It
+        # anchors the session for clean chips and is excluded from the
+        # candidate list, mirroring the dictionary (whose table only holds
+        # detectable — i.e. somewhere-failing — fault sets).
+        self._nominal = _Hypothesis(
+            syndrome=(), fault_sets=[], signatures=expected
+        )
+        self._hypotheses: list[_Hypothesis] = [self._nominal]
+        for syndrome, fault_sets in dictionary.syndrome_classes():
+            signatures = list(expected)
+            for vector_name, observed_items in syndrome:
+                signatures[name_to_index[vector_name]] = tuple(observed_items)
+            self._hypotheses.append(
+                _Hypothesis(
+                    syndrome=syndrome,
+                    fault_sets=fault_sets,
+                    signatures=tuple(signatures),
+                )
+            )
+
+    # -- scheduling --------------------------------------------------------
+    def _best_split(
+        self, alive: Sequence[_Hypothesis], unapplied: Sequence[int]
+    ) -> tuple[int | None, float]:
+        """The unapplied vector whose outcome partition has max entropy."""
+        best_index: int | None = None
+        best_entropy = 0.0
+        total = float(sum(h.weight for h in alive))
+        for vi in unapplied:
+            buckets: dict[Signature, int] = {}
+            for h in alive:
+                sig = h.signatures[vi]
+                buckets[sig] = buckets.get(sig, 0) + h.weight
+            if len(buckets) < 2:
+                continue
+            entropy = 0.0
+            for mass in buckets.values():
+                p = mass / total
+                entropy -= p * math.log2(p)
+            if entropy > best_entropy:
+                best_entropy = entropy
+                best_index = vi
+        return best_index, best_entropy
+
+    # -- diagnosis ---------------------------------------------------------
+    def diagnose(
+        self,
+        chip: ChipUnderTest,
+        max_vectors: int | None = None,
+    ) -> AdaptiveDiagnosisResult:
+        """Adaptively localize ``chip``'s faults.
+
+        ``max_vectors`` optionally caps the session; a capped session can
+        end with residual ambiguity across several syndrome classes, in
+        which case the candidates are the union of all surviving classes.
+        """
+        outcomes: list[VectorOutcome] = []
+        steps: list[AdaptiveStep] = []
+        exhausted = False
+        alive = list(self._hypotheses)
+        unapplied = list(range(len(self.vectors)))
+
+        while len(alive) > 1:
+            if max_vectors is not None and len(outcomes) >= max_vectors:
+                exhausted = True
+                break
+            vi, entropy = self._best_split(alive, unapplied)
+            if vi is None:
+                # All survivors predict identical readouts for every
+                # unapplied vector — only possible across distinct
+                # syndromes when the budget already hid the separating
+                # vector, or the suite cannot separate them at all.
+                break
+            outcome = self.tester.apply(chip, self.vectors[vi])
+            observed = _signature(outcome.observed)
+            before = len(alive)
+            alive = [h for h in alive if h.signatures[vi] == observed]
+            unapplied.remove(vi)
+            outcomes.append(outcome)
+            steps.append(
+                AdaptiveStep(
+                    vector_name=self.vectors[vi].name,
+                    entropy_bits=entropy,
+                    hypotheses_before=before,
+                    hypotheses_after=len(alive),
+                )
+            )
+            if not alive:
+                break
+
+        return AdaptiveDiagnosisResult(
+            report=self._conclude(alive, outcomes),
+            outcomes=outcomes,
+            steps=steps,
+            total_vectors=len(self.vectors),
+            exhausted_budget=exhausted,
+        )
+
+    def _conclude(
+        self, alive: list[_Hypothesis], outcomes: list[VectorOutcome]
+    ) -> DiagnosisReport:
+        survivors = [h for h in alive if h is not self._nominal]
+        if len(alive) == 1 and alive[0] is self._nominal:
+            return DiagnosisReport(syndrome=(), candidates=[])
+        if len(survivors) == 1 and len(alive) == 1:
+            h = survivors[0]
+            return DiagnosisReport(
+                syndrome=h.syndrome, candidates=list(h.fault_sets)
+            )
+        # Chip outside the hypothesis space (no survivors) or a
+        # budget-capped session (several survivors): report what is known.
+        observed_syndrome = tuple(
+            (o.vector.name, _signature(o.observed))
+            for o in outcomes
+            if not o.passed
+        )
+        candidates = [fs for h in survivors for fs in h.fault_sets]
+        return DiagnosisReport(syndrome=observed_syndrome, candidates=candidates)
+
+
+def adaptive_diagnose(
+    dictionary: FaultDictionary,
+    chip: ChipUnderTest,
+    max_vectors: int | None = None,
+) -> AdaptiveDiagnosisResult:
+    """One-shot convenience wrapper around :class:`AdaptiveDiagnoser`."""
+    return AdaptiveDiagnoser(dictionary).diagnose(chip, max_vectors=max_vectors)

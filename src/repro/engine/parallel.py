@@ -1,0 +1,176 @@
+"""Sharded, process-parallel fault-injection campaigns.
+
+The section IV experiment is embarrassingly parallel: trials are
+independent chips.  The runner splits a campaign into fixed-size logical
+shards, seeds each shard's RNG by mixing (seed, fault count, shard index)
+— never by worker identity — and merges shard results in shard order.
+Because the shard structure is a function of the *trial count* alone, the
+aggregated :class:`CampaignResult` is bit-identical whatever ``workers``
+is; a pool only changes wall-clock.
+
+Scenario objects and arrays ride to the workers via pickling, so custom
+scenarios must be defined at module top level (the registered ones are).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from repro.core.vectors import TestVector
+from repro.fpva.array import FPVA
+from repro.sim.campaign import CampaignResult, run_campaign as _run_serial
+
+#: Trials per logical shard.  Small enough that modest campaigns still fan
+#: out, large enough that per-task pickling stays negligible.
+SHARD_TRIALS = 50
+
+
+def _mix_seed(seed: int, num_faults: int, shard: int) -> int:
+    """Deterministic, well-spread shard seed (splitmix64 finalizer)."""
+    x = (seed * 0x9E3779B97F4A7C15 + num_faults * 0xBF58476D1CE4E5B9 + shard) % (
+        1 << 64
+    )
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) % (1 << 64)
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) % (1 << 64)
+    return x ^ (x >> 31)
+
+
+def _run_shard(payload) -> CampaignResult:
+    (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
+     keep_undetected, scenario) = payload
+    return _run_serial(
+        fpva,
+        vectors,
+        num_faults=num_faults,
+        trials=trials,
+        seed=shard_seed,
+        include_control_leaks=include_control_leaks,
+        keep_undetected=keep_undetected,
+        scenario=scenario,
+    )
+
+
+def _shard_payloads(
+    fpva,
+    vectors,
+    num_faults,
+    trials,
+    seed,
+    include_control_leaks,
+    keep_undetected,
+    scenario,
+    shard_trials,
+):
+    payloads = []
+    shard = 0
+    remaining = trials
+    while remaining > 0:
+        size = min(shard_trials, remaining)
+        payloads.append(
+            (
+                fpva,
+                vectors,
+                num_faults,
+                size,
+                _mix_seed(seed, num_faults, shard),
+                include_control_leaks,
+                keep_undetected,
+                scenario,
+            )
+        )
+        remaining -= size
+        shard += 1
+    return payloads
+
+
+def _merge(
+    num_faults: int, shards: Sequence[CampaignResult], keep_undetected: int
+) -> CampaignResult:
+    merged = CampaignResult(num_faults=num_faults, trials=0, detected=0)
+    for shard in shards:
+        merged.trials += shard.trials
+        merged.detected += shard.detected
+        for example in shard.undetected_examples:
+            if len(merged.undetected_examples) < keep_undetected:
+                merged.undetected_examples.append(example)
+    return merged
+
+
+def run_campaign(
+    fpva: FPVA,
+    vectors: Sequence[TestVector],
+    num_faults: int,
+    trials: int,
+    seed: int = 0,
+    workers: int = 1,
+    include_control_leaks: bool = True,
+    keep_undetected: int = 10,
+    scenario=None,
+    shard_trials: int = SHARD_TRIALS,
+) -> CampaignResult:
+    """Sharded campaign; result is independent of ``workers``."""
+    payloads = _shard_payloads(
+        fpva,
+        vectors,
+        num_faults,
+        trials,
+        seed,
+        include_control_leaks,
+        keep_undetected,
+        scenario,
+        shard_trials,
+    )
+    if workers <= 1 or len(payloads) <= 1:
+        shards = [_run_shard(p) for p in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            shards = list(pool.map(_run_shard, payloads))
+    return _merge(num_faults, shards, keep_undetected)
+
+
+def run_sweep(
+    fpva: FPVA,
+    vectors: Sequence[TestVector],
+    fault_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    trials: int = 200,
+    seed: int = 0,
+    workers: int = 1,
+    include_control_leaks: bool = True,
+    keep_undetected: int = 10,
+    scenario=None,
+    shard_trials: int = SHARD_TRIALS,
+) -> dict[int, CampaignResult]:
+    """The paper's k-faults sweep, with all (k, shard) tasks in one pool.
+
+    Flattening the sweep before fanning out keeps every worker busy even
+    when individual fault counts have few shards.
+    """
+    tagged: list[tuple[int, tuple]] = []
+    for k in fault_counts:
+        for payload in _shard_payloads(
+            fpva,
+            vectors,
+            k,
+            trials,
+            seed + k,
+            include_control_leaks,
+            keep_undetected,
+            scenario,
+            shard_trials,
+        ):
+            tagged.append((k, payload))
+    if workers <= 1 or len(tagged) <= 1:
+        shard_results = [(k, _run_shard(p)) for k, p in tagged]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = pool.map(_run_shard, [p for _, p in tagged])
+            shard_results = [(k, r) for (k, _), r in zip(tagged, results)]
+    by_k: dict[int, list[CampaignResult]] = {k: [] for k in fault_counts}
+    for k, shard in shard_results:
+        by_k[k].append(shard)
+    return {
+        k: _merge(k, shards, keep_undetected) for k, shards in by_k.items()
+    }

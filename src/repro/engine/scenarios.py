@@ -1,0 +1,175 @@
+"""Fault-scenario registry: pluggable workloads beyond the paper's models.
+
+The paper's evaluation (section IV) injects the three deterministic fault
+kinds of Fig 3.  Real silicone ages and clogs in messier ways, so the
+engine treats the *workload* — which fault space chips are drawn from — as
+a pluggable :class:`FaultScenario`.  A scenario supplies two things:
+
+* ``universe(fpva)`` — the finite candidate fault list, which doubles as
+  the hypothesis space for dictionary/adaptive diagnosis;
+* ``sample(universe, rng, num_faults)`` — how a random defective chip is
+  drawn for injection campaigns.
+
+Four scenarios ship registered:
+
+========== =============================================================
+stuck-at   the paper's models (SA0, SA1, control-layer leaks)
+intermittent marginal seats that misbehave on ~half of the vectors
+blockage   debris obstructing flow edges (valves *and* permanent channels)
+mixed      cocktails drawn from all of the above
+========== =============================================================
+
+Register custom scenarios with :func:`register_scenario`; everything in
+``sim`` (campaigns, dictionaries) and the CLI resolves them by name.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.fpva.array import FPVA
+from repro.sim.campaign import sample_fault_set
+from repro.sim.faults import (
+    ChannelBlocked,
+    Fault,
+    IntermittentStuckAt,
+    fault_universe,
+)
+
+
+@runtime_checkable
+class FaultScenario(Protocol):
+    """The scenario contract consumed by campaigns and diagnosis."""
+
+    name: str
+    description: str
+
+    def universe(self, fpva: FPVA) -> list[Fault]:
+        """All candidate faults this scenario can inject on ``fpva``."""
+        ...
+
+    def sample(
+        self, universe: Sequence[Fault], rng: random.Random, num_faults: int
+    ) -> tuple[Fault, ...]:
+        """Draw one defective chip's fault set from ``universe``."""
+        ...
+
+
+@dataclass(frozen=True)
+class StuckAtScenario:
+    """The paper's fault space: stuck-at valves plus control-layer leaks."""
+
+    name: str = "stuck-at"
+    description: str = "SA0/SA1 valves and control-leak pairs (paper, Fig 3)"
+    include_control_leaks: bool = True
+
+    def universe(self, fpva: FPVA) -> list[Fault]:
+        return fault_universe(
+            fpva, include_control_leaks=self.include_control_leaks
+        )
+
+    def sample(self, universe, rng, num_faults):
+        return sample_fault_set(universe, num_faults, rng)
+
+
+@dataclass(frozen=True)
+class IntermittentScenario:
+    """Marginal valve seats that fail on a fraction of actuations.
+
+    Firing is a deterministic keyed hash of the applied vector (see
+    :class:`repro.sim.faults.IntermittentStuckAt`), so chips remain
+    diagnosable: behaviour depends only on *which* vector is applied.
+    """
+
+    name: str = "intermittent"
+    description: str = "probabilistic stuck-open/stuck-closed valve seats"
+    rate: float = 0.5
+
+    def universe(self, fpva: FPVA) -> list[Fault]:
+        out: list[Fault] = []
+        for valve in fpva.valves:
+            out.append(IntermittentStuckAt(valve, stuck_open=True, rate=self.rate))
+            out.append(IntermittentStuckAt(valve, stuck_open=False, rate=self.rate))
+        return out
+
+    def sample(self, universe, rng, num_faults):
+        return sample_fault_set(universe, num_faults, rng)
+
+
+@dataclass(frozen=True)
+class BlockageScenario:
+    """Debris obstructing flow edges.
+
+    Unlike stuck-at-0, a blockage can hit a *permanent transport channel*
+    — an edge the paper's fault model treats as unconditionally open — so
+    this scenario exercises chip behaviours no stuck-at cocktail can.
+    """
+
+    name: str = "blockage"
+    description: str = "obstructed flow edges, including permanent channels"
+
+    def universe(self, fpva: FPVA) -> list[Fault]:
+        return [ChannelBlocked(edge) for edge in fpva.flow_edges]
+
+    def sample(self, universe, rng, num_faults):
+        return sample_fault_set(universe, num_faults, rng)
+
+
+@dataclass(frozen=True)
+class MixedScenario:
+    """Multi-model cocktails: every registered fault kind in one chip."""
+
+    name: str = "mixed"
+    description: str = "cocktails of stuck-at, leak, intermittent and blockage"
+    include_control_leaks: bool = True
+    intermittent_rate: float = 0.5
+
+    def universe(self, fpva: FPVA) -> list[Fault]:
+        out = fault_universe(
+            fpva, include_control_leaks=self.include_control_leaks
+        )
+        out.extend(
+            IntermittentScenario(rate=self.intermittent_rate).universe(fpva)
+        )
+        out.extend(BlockageScenario().universe(fpva))
+        return out
+
+    def sample(self, universe, rng, num_faults):
+        return sample_fault_set(universe, num_faults, rng)
+
+
+_REGISTRY: dict[str, FaultScenario] = {}
+
+
+def register_scenario(scenario: FaultScenario, replace: bool = False) -> FaultScenario:
+    """Add a scenario to the global registry (returns it for chaining)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> FaultScenario:
+    """Look a scenario up by name; raises with the available names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> list[FaultScenario]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+register_scenario(StuckAtScenario())
+register_scenario(IntermittentScenario())
+register_scenario(BlockageScenario())
+register_scenario(MixedScenario())

@@ -4,8 +4,10 @@ from repro.sim.campaign import CampaignResult, run_campaign, run_sweep, sample_f
 from repro.sim.chip import ChipUnderTest
 from repro.sim.diagnosis import DiagnosisReport, FaultDictionary
 from repro.sim.faults import (
+    ChannelBlocked,
     ControlLeak,
     Fault,
+    IntermittentStuckAt,
     StuckAt0,
     StuckAt1,
     control_leak_faults,
@@ -26,8 +28,10 @@ __all__ = [
     "ChipUnderTest",
     "DiagnosisReport",
     "FaultDictionary",
+    "ChannelBlocked",
     "ControlLeak",
     "Fault",
+    "IntermittentStuckAt",
     "StuckAt0",
     "StuckAt1",
     "control_leak_faults",

@@ -62,14 +62,26 @@ def run_campaign(
     seed: int = 0,
     include_control_leaks: bool = True,
     keep_undetected: int = 10,
+    scenario=None,
 ) -> CampaignResult:
-    """Inject ``num_faults`` random faults ``trials`` times; count detections."""
+    """Inject ``num_faults`` random faults ``trials`` times; count detections.
+
+    ``scenario`` is any object implementing the
+    :class:`repro.engine.scenarios.FaultScenario` protocol (``universe(fpva)``
+    and ``sample(universe, rng, num_faults)``); when omitted the paper's
+    stuck-at/control-leak fault space is sampled directly.
+    """
     rng = random.Random(seed)
-    universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
+    if scenario is None:
+        universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
+        draw = lambda: sample_fault_set(universe, num_faults, rng)  # noqa: E731
+    else:
+        universe = scenario.universe(fpva)
+        draw = lambda: scenario.sample(universe, rng, num_faults)  # noqa: E731
     tester = Tester(fpva)
     result = CampaignResult(num_faults=num_faults, trials=trials, detected=0)
     for _ in range(trials):
-        faults = sample_fault_set(universe, num_faults, rng)
+        faults = draw()
         chip = ChipUnderTest(fpva, faults)
         run = tester.run(chip, vectors, stop_at_first_fail=True)
         if run.fault_detected:
@@ -86,6 +98,7 @@ def run_sweep(
     trials: int = 200,
     seed: int = 0,
     include_control_leaks: bool = True,
+    scenario=None,
 ) -> dict[int, CampaignResult]:
     """The paper's sweep: k = 1..5 faults, ``trials`` chips per k."""
     return {
@@ -96,6 +109,7 @@ def run_sweep(
             trials=trials,
             seed=seed + k,
             include_control_leaks=include_control_leaks,
+            scenario=scenario,
         )
         for k in fault_counts
     }

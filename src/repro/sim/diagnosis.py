@@ -49,6 +49,7 @@ class FaultDictionary:
         vectors: Sequence[TestVector],
         include_control_leaks: bool = True,
         max_cardinality: int = 1,
+        universe: Sequence[Fault] | None = None,
     ):
         if max_cardinality not in (1, 2):
             raise ValueError("dictionary supports single and double faults")
@@ -57,7 +58,10 @@ class FaultDictionary:
         self.tester = Tester(fpva)
         self._table: dict[Syndrome, list[tuple[Fault, ...]]] = defaultdict(list)
 
-        universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
+        if universe is None:
+            universe = fault_universe(
+                fpva, include_control_leaks=include_control_leaks
+            )
         fault_sets: list[tuple[Fault, ...]] = [(f,) for f in universe]
         if max_cardinality == 2:
             fault_sets.extend(
@@ -77,6 +81,15 @@ class FaultDictionary:
     @property
     def distinct_syndromes(self) -> int:
         return len(self._table)
+
+    def syndrome_classes(self) -> list[tuple[Syndrome, list[tuple[Fault, ...]]]]:
+        """Every (syndrome, candidate fault sets) equivalence class.
+
+        Fault sets in one class are behaviourally indistinguishable under
+        the dictionary's vector suite; the adaptive engine schedules vectors
+        to separate these classes, never their members.
+        """
+        return [(syndrome, list(sets)) for syndrome, sets in self._table.items()]
 
     def diagnose_run(self, run: TestRunResult) -> DiagnosisReport:
         """Diagnose from a completed (full, non-early-stopped) test run."""

@@ -1,4 +1,4 @@
-"""Fault model (section II of the paper).
+"""Fault model (section II of the paper), plus scenario extensions.
 
 The four manufacturing defects of Fig 3 map onto three valve-level faults:
 
@@ -10,10 +10,25 @@ The four manufacturing defects of Fig 3 map onto three valve-level faults:
   never close: :class:`StuckAt1`;
 * leaking control channel → two valves close simultaneously whenever either
   control line is pressurized: :class:`ControlLeak`.
+
+Beyond the paper's three models, the engine's scenario registry
+(:mod:`repro.engine.scenarios`) draws on two further fault kinds:
+
+* :class:`IntermittentStuckAt` — a marginal valve seat that misbehaves on
+  only a fraction of actuations.  Whether the fault fires is a
+  *deterministic* function of the applied vector (a keyed hash of the
+  vector name), so a chip carrying one behaves identically no matter how
+  many times, or in which order, vectors are applied — the property that
+  makes dictionary and adaptive diagnosis agree;
+* :class:`ChannelBlocked` — debris physically obstructing a flow edge.  On
+  a valve edge it overrides any commanded or stuck behaviour; on a
+  permanent transport channel it closes a connection the simulator
+  otherwise treats as always open.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence, Union
 
@@ -65,7 +80,56 @@ class ControlLeak:
         return f"Leak({self.a}~{self.b})"
 
 
-Fault = Union[StuckAt0, StuckAt1, ControlLeak]
+@dataclass(frozen=True)
+class IntermittentStuckAt:
+    """A valve that misbehaves on a deterministic fraction of vectors.
+
+    ``stuck_open`` selects the failure polarity (True: the seat fails to
+    close, like a transient :class:`StuckAt1`; False: it fails to open).
+    ``rate`` is the long-run fraction of vectors on which the fault fires;
+    ``salt`` keys the per-vector hash so distinct physical defects on the
+    same valve produce distinct firing patterns.
+    """
+
+    valve: Edge
+    stuck_open: bool = True
+    rate: float = 0.5
+    salt: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"intermittent rate must be in (0, 1], got {self.rate}")
+
+    def fires_on(self, vector_key: str) -> bool:
+        """Deterministic per-vector activation (stable across processes)."""
+        digest = hashlib.blake2b(
+            f"{self.salt}:{self.valve!r}:{vector_key}".encode(),
+            digest_size=8,
+        ).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        return draw < self.rate
+
+    def __repr__(self):
+        mode = "open" if self.stuck_open else "closed"
+        return f"Flaky{mode}({self.valve}@{self.rate:g})"
+
+
+@dataclass(frozen=True)
+class ChannelBlocked:
+    """Debris obstructing a flow edge (valve or permanent channel)."""
+
+    edge: Edge
+
+    def __repr__(self):
+        return f"Blocked({self.edge})"
+
+
+Fault = Union[StuckAt0, StuckAt1, ControlLeak, IntermittentStuckAt, ChannelBlocked]
+
+#: Fault kinds that occupy a valve/channel seat exclusively: a seat carrying
+#: one of these cannot also carry any other seat-level fault (the behaviours
+#: are physically contradictory or indistinguishable compositions).
+_SEAT_EXCLUSIVE = (IntermittentStuckAt, ChannelBlocked)
 
 
 def stuck_at_faults(fpva: FPVA) -> list[Fault]:
@@ -138,22 +202,35 @@ def faults_compatible(faults: Sequence[Fault]) -> bool:
 
     A single valve cannot be simultaneously stuck-at-0 and stuck-at-1 (a
     flow channel cannot be both permanently blocked and permanently leaking
-    at the same valve seat).
+    at the same valve seat).  Intermittent and blockage faults occupy their
+    seat exclusively: stacking one on a seat that already carries any other
+    seat-level fault is rejected.
     """
     sa0 = {f.valve for f in faults if isinstance(f, StuckAt0)}
     sa1 = {f.valve for f in faults if isinstance(f, StuckAt1)}
     if sa0 & sa1:
         return False
+    seats: list[Edge] = []
+    for f in faults:
+        if isinstance(f, _SEAT_EXCLUSIVE):
+            seats.append(f.valve if isinstance(f, IntermittentStuckAt) else f.edge)
+    if seats:
+        if len(seats) != len(set(seats)):
+            return False
+        if set(seats) & (sa0 | sa1):
+            return False
     # Duplicate faults are also rejected.
     return len(set(faults)) == len(faults)
 
 
 def faulty_valves(faults: Iterable[Fault]) -> set[Edge]:
-    """All valves touched by any fault in the set."""
+    """All valves/edges touched by any fault in the set."""
     out: set[Edge] = set()
     for f in faults:
-        if isinstance(f, (StuckAt0, StuckAt1)):
+        if isinstance(f, (StuckAt0, StuckAt1, IntermittentStuckAt)):
             out.add(f.valve)
+        elif isinstance(f, ChannelBlocked):
+            out.add(f.edge)
         else:
             out.update(f.valves)
     return out

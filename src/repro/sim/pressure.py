@@ -30,27 +30,38 @@ class PressureSimulator:
         self._index: dict = {node: i for i, node in enumerate(nodes)}
         self._nodes = nodes
 
-        # adjacency[i] = list of (neighbour index, valve Edge or None);
-        # None marks an always-open connection (channel or port opening).
-        self._adjacency: list[list[tuple[int, Edge | None]]] = [
+        # adjacency[i] = list of (neighbour index, valve Edge or None, link);
+        # valve None marks an always-open connection (channel or port
+        # opening); link is the underlying flow Edge (None for port
+        # openings) so physically blocked edges can be excluded.
+        self._adjacency: list[list[tuple[int, Edge | None, Edge | None]]] = [
             [] for _ in nodes
         ]
         for edge in fpva.flow_edges:
             u, w = self._index[edge.a], self._index[edge.b]
             valve = edge if edge in fpva.valve_set else None
-            self._adjacency[u].append((w, valve))
-            self._adjacency[w].append((u, valve))
+            self._adjacency[u].append((w, valve, edge))
+            self._adjacency[w].append((u, valve, edge))
         for port in fpva.ports:
             p = self._index[port]
             c = self._index[fpva.port_cell(port)]
-            self._adjacency[p].append((c, None))
-            self._adjacency[c].append((p, None))
+            self._adjacency[p].append((c, None, None))
+            self._adjacency[c].append((p, None, None))
 
         self._source_idx = [self._index[p] for p in fpva.sources]
         self._sinks = [(p.name, self._index[p]) for p in fpva.sinks]
 
-    def pressurized_nodes(self, open_valves: Iterable[Edge]) -> set:
-        """All cell/port nodes reached by source pressure."""
+    def pressurized_nodes(
+        self,
+        open_valves: Iterable[Edge],
+        blocked: frozenset[Edge] = frozenset(),
+    ) -> set:
+        """All cell/port nodes reached by source pressure.
+
+        ``blocked`` removes flow edges outright — a physically obstructed
+        connection conducts no pressure regardless of valve state (the
+        :class:`~repro.sim.faults.ChannelBlocked` scenario fault).
+        """
         open_set = (
             open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
         )
@@ -61,16 +72,22 @@ class PressureSimulator:
             queue.append(s)
         while queue:
             u = queue.popleft()
-            for w, valve in self._adjacency[u]:
+            for w, valve, link in self._adjacency[u]:
                 if seen[w]:
                     continue
                 if valve is not None and valve not in open_set:
+                    continue
+                if blocked and link is not None and link in blocked:
                     continue
                 seen[w] = True
                 queue.append(w)
         return {self._nodes[i] for i, hit in enumerate(seen) if hit}
 
-    def meter_readings(self, open_valves: Iterable[Edge]) -> dict[str, bool]:
+    def meter_readings(
+        self,
+        open_valves: Iterable[Edge],
+        blocked: frozenset[Edge] = frozenset(),
+    ) -> dict[str, bool]:
         """Pressure reading at every sink port, keyed by port name."""
         open_set = (
             open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
@@ -87,10 +104,12 @@ class PressureSimulator:
         found = 0
         while queue and found < n_sinks:
             u = queue.popleft()
-            for w, valve in self._adjacency[u]:
+            for w, valve, link in self._adjacency[u]:
                 if seen[w]:
                     continue
                 if valve is not None and valve not in open_set:
+                    continue
+                if blocked and link is not None and link in blocked:
                     continue
                 seen[w] = True
                 if w in sink_idx:

@@ -74,8 +74,8 @@ class Tester:
 
     def apply(self, chip: ChipUnderTest, vector: TestVector) -> VectorOutcome:
         """Apply one vector and read the meters."""
-        effective = chip.effective_open_for(vector)
-        observed = self.simulator.meter_readings(effective)
+        effective, blocked = chip.effective_state(vector)
+        observed = self.simulator.meter_readings(effective, blocked=blocked)
         return VectorOutcome(vector=vector, observed=observed)
 
     def run(

@@ -1,0 +1,159 @@
+"""Adaptive diagnosis: differential equivalence with the full-suite path."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import generate_suite
+from repro.engine import AdaptiveDiagnoser, adaptive_diagnose, get_scenario, scenario_names
+from repro.fpva import FPVABuilder, Side, full_layout
+from repro.fpva.geometry import Cell
+from repro.sim import ChipUnderTest, FaultDictionary, StuckAt0
+
+
+@pytest.fixture(scope="module")
+def small_bundle():
+    fpva = full_layout(4, 4, name="adaptive-4x4")
+    suite = generate_suite(fpva)
+    return fpva, suite.all_vectors()
+
+
+def _assert_matches_full_suite(fpva, vectors, scenario, seed, chips=4):
+    """Adaptive and full-suite verdicts agree for in-space chips."""
+    universe = scenario.universe(fpva)
+    dictionary = FaultDictionary(fpva, vectors, universe=universe)
+    engine = AdaptiveDiagnoser(dictionary)
+    rng = random.Random(seed)
+    for _ in range(chips):
+        chip = ChipUnderTest(fpva, scenario.sample(universe, rng, 1))
+        full = dictionary.diagnose_chip(chip)
+        session = engine.diagnose(chip)
+        assert session.report.candidates == full.candidates, chip.faults
+        assert session.report.syndrome == full.syndrome, chip.faults
+        assert session.num_applied <= len(vectors)
+    clean = engine.diagnose(ChipUnderTest(fpva))
+    full_clean = dictionary.diagnose_chip(ChipUnderTest(fpva))
+    assert clean.report.syndrome == full_clean.syndrome == ()
+    assert clean.report.candidates == full_clean.candidates == []
+
+
+class TestEquivalenceFixedLayouts:
+    @pytest.mark.parametrize("scenario_name", scenario_names())
+    def test_every_scenario_matches_full_suite(self, small_bundle, scenario_name):
+        fpva, vectors = small_bundle
+        _assert_matches_full_suite(fpva, vectors, get_scenario(scenario_name), seed=11)
+
+    def test_double_fault_dictionary(self, small_bundle):
+        """Cardinality-2 hypothesis spaces localize double faults too."""
+        fpva, vectors = small_bundle
+        dictionary = FaultDictionary(
+            fpva, vectors, include_control_leaks=False, max_cardinality=2
+        )
+        engine = AdaptiveDiagnoser(dictionary)
+        rng = random.Random(5)
+        scenario = get_scenario("stuck-at")
+        universe = [f for f in scenario.universe(fpva) if hasattr(f, "valve")]
+        for _ in range(3):
+            faults = scenario.sample(universe, rng, 2)
+            chip = ChipUnderTest(fpva, faults)
+            full = dictionary.diagnose_chip(chip)
+            session = engine.diagnose(chip)
+            assert session.report.candidates == full.candidates
+            assert session.report.syndrome == full.syndrome
+
+
+@st.composite
+def diagnosis_layouts(draw):
+    """Small randomized layouts, kept cheap for per-example generation."""
+    nr = draw(st.integers(3, 4))
+    nc = draw(st.integers(3, 4))
+    builder = FPVABuilder(nr, nc, name=f"adaptive-hypo-{nr}x{nc}")
+    if draw(st.booleans()):
+        builder.channel(Cell(nr - 1, 1), "east", 1)
+    builder.source(Side.WEST, 1).sink(Side.EAST, nr)
+    return builder.build()
+
+
+@pytest.mark.slow
+class TestEquivalenceProperty:
+    """Satellite: differential property over randomized layouts."""
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(diagnosis_layouts(), st.integers(0, 2**16))
+    def test_adaptive_equals_full_suite_all_scenarios(self, fpva, seed):
+        vectors = generate_suite(fpva).all_vectors()
+        for name in scenario_names():
+            _assert_matches_full_suite(
+                fpva, vectors, get_scenario(name), seed=seed, chips=2
+            )
+
+
+class TestSessionMechanics:
+    def test_early_stop_saves_vectors(self, small_bundle):
+        fpva, vectors = small_bundle
+        dictionary = FaultDictionary(fpva, vectors)
+        session = adaptive_diagnose(
+            dictionary, ChipUnderTest(fpva, [StuckAt0(fpva.valves[0])])
+        )
+        assert 0 < session.num_applied < len(vectors)
+        assert session.saved_fraction > 0.0
+        assert not session.exhausted_budget
+        # The trace records one positive-entropy step per application.
+        assert len(session.steps) == session.num_applied
+        assert all(step.entropy_bits > 0 for step in session.steps)
+
+    def test_budget_cap_reported(self, small_bundle):
+        fpva, vectors = small_bundle
+        dictionary = FaultDictionary(fpva, vectors)
+        engine = AdaptiveDiagnoser(dictionary)
+        chip = ChipUnderTest(fpva, [StuckAt0(fpva.valves[2])])
+        capped = engine.diagnose(chip, max_vectors=1)
+        assert capped.num_applied == 1
+        assert capped.exhausted_budget
+        # A capped session may stay ambiguous, but never loses the truth:
+        full = dictionary.diagnose_chip(chip)
+        assert set(full.candidates) <= set(capped.report.candidates)
+
+    def test_out_of_space_chip_verdict_consistent(self, small_bundle):
+        """A chip the dictionary cannot model gets a best-effort verdict:
+        every returned candidate explains every applied outcome."""
+        fpva, vectors = small_bundle
+        dictionary = FaultDictionary(fpva, vectors, include_control_leaks=False)
+        faults = [StuckAt0(v) for v in fpva.valves]  # everything broken
+        session = AdaptiveDiagnoser(dictionary).diagnose(
+            ChipUnderTest(fpva, faults)
+        )
+        assert session.outcomes  # something observable happened
+        for candidate in session.report.candidates:
+            explainer = ChipUnderTest(fpva, list(candidate))
+            for outcome in session.outcomes:
+                replay = dictionary.tester.apply(explainer, outcome.vector)
+                assert replay.observed == outcome.observed
+
+
+@pytest.mark.slow
+class TestAcceptance8x8:
+    def test_thirty_percent_fewer_vectors_on_8x8(self):
+        """Acceptance bar: ≥30% fewer applied vectors on average, 8x8."""
+        fpva = full_layout(8, 8, name="accept-8x8")
+        vectors = generate_suite(fpva).all_vectors()
+        scenario = get_scenario("stuck-at")
+        universe = scenario.universe(fpva)
+        dictionary = FaultDictionary(fpva, vectors, universe=universe)
+        engine = AdaptiveDiagnoser(dictionary)
+        rng = random.Random(0)
+        applied = []
+        for _ in range(30):
+            chip = ChipUnderTest(fpva, scenario.sample(universe, rng, 1))
+            session = engine.diagnose(chip)
+            full = dictionary.diagnose_chip(chip)
+            assert session.report.candidates == full.candidates
+            applied.append(session.num_applied)
+        mean_applied = sum(applied) / len(applied)
+        assert mean_applied <= 0.7 * len(vectors), (mean_applied, len(vectors))

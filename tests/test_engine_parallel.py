@@ -1,0 +1,93 @@
+"""Sharded parallel campaigns: determinism and merge correctness."""
+
+import pytest
+
+from repro.core import generate_suite
+from repro.engine import get_scenario, run_campaign, run_sweep
+from repro.engine.parallel import _mix_seed
+from repro.fpva import full_layout
+from repro.sim import run_campaign as run_campaign_serial
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    fpva = full_layout(4, 4, name="parallel-4x4")
+    return fpva, generate_suite(fpva).all_vectors()
+
+
+def _result_key(result):
+    return (
+        result.num_faults,
+        result.trials,
+        result.detected,
+        result.undetected_examples,
+    )
+
+
+class TestDeterminism:
+    def test_workers_1_vs_4_identical(self, bundle):
+        """Satellite: the aggregate is a function of the seed alone."""
+        fpva, vectors = bundle
+        kwargs = dict(num_faults=2, trials=120, seed=7, shard_trials=25)
+        serial = run_campaign(fpva, vectors, workers=1, **kwargs)
+        pooled = run_campaign(fpva, vectors, workers=4, **kwargs)
+        assert _result_key(serial) == _result_key(pooled)
+
+    def test_workers_1_vs_4_identical_with_scenario(self, bundle):
+        fpva, vectors = bundle
+        kwargs = dict(
+            num_faults=1,
+            trials=80,
+            seed=3,
+            shard_trials=20,
+            scenario=get_scenario("mixed"),
+        )
+        serial = run_campaign(fpva, vectors, workers=1, **kwargs)
+        pooled = run_campaign(fpva, vectors, workers=4, **kwargs)
+        assert _result_key(serial) == _result_key(pooled)
+
+    def test_sweep_workers_independent(self, bundle):
+        fpva, vectors = bundle
+        kwargs = dict(
+            fault_counts=(1, 2), trials=60, seed=5, shard_trials=15,
+            scenario=get_scenario("intermittent"),
+        )
+        serial = run_sweep(fpva, vectors, workers=1, **kwargs)
+        pooled = run_sweep(fpva, vectors, workers=4, **kwargs)
+        assert set(serial) == set(pooled) == {1, 2}
+        for k in serial:
+            assert _result_key(serial[k]) == _result_key(pooled[k])
+
+    def test_repeat_runs_identical(self, bundle):
+        fpva, vectors = bundle
+        first = run_campaign(fpva, vectors, num_faults=2, trials=50, seed=11, workers=2)
+        second = run_campaign(fpva, vectors, num_faults=2, trials=50, seed=11, workers=2)
+        assert _result_key(first) == _result_key(second)
+
+
+class TestSharding:
+    def test_uneven_trials_fully_executed(self, bundle):
+        fpva, vectors = bundle
+        result = run_campaign(
+            fpva, vectors, num_faults=1, trials=37, seed=0, workers=2,
+            shard_trials=10,
+        )
+        assert result.trials == 37
+
+    def test_mix_seed_deterministic_and_spread(self):
+        assert _mix_seed(0, 1, 0) == _mix_seed(0, 1, 0)
+        seeds = {_mix_seed(0, k, s) for k in range(1, 6) for s in range(8)}
+        assert len(seeds) == 40  # no collisions across (k, shard)
+
+    def test_detection_rate_comparable_to_serial(self, bundle):
+        """Sharding changes RNG streams, not statistics: the paper's
+        all-detected result must survive the parallel path."""
+        fpva, vectors = bundle
+        sharded = run_campaign(
+            fpva, vectors, num_faults=2, trials=100, seed=21, workers=4,
+            shard_trials=25,
+        )
+        serial = run_campaign_serial(
+            fpva, vectors, num_faults=2, trials=100, seed=21
+        )
+        assert sharded.all_detected and serial.all_detected

@@ -81,6 +81,7 @@ def small_layouts(draw):
     return builder.build()
 
 
+@pytest.mark.slow
 class TestGenerationProperties:
     """Invariants over randomized small layouts (hypothesis)."""
 
@@ -106,10 +107,15 @@ class TestGenerationProperties:
     )
     @given(small_layouts(), st.randoms(use_true_random=False))
     def test_random_double_faults_detected(self, fpva, rng):
+        # Minimal path/cut generation alone can miss mutually-masking
+        # SA0+SA1 pairs (hypothesis found one on a 5x4 obstacle layout,
+        # pinned in tests/test_repair.py); double-fault hardening audits
+        # for those pairs and synthesizes breaker vectors.
         suite = generate_suite(
             fpva,
             include_leakage=False,
             solve_options=SolveOptions(time_limit=60),
+            harden_double_faults=True,
         )
         tester = Tester(fpva)
         valves = list(fpva.valves)
