@@ -1,0 +1,161 @@
+"""Compiled bitmask kernel vs the retained legacy path.
+
+Two acceptance measurements, both asserting exact result equality before
+comparing wall-clock:
+
+* **dictionary build** — the 8x8 ``max_cardinality=2`` stuck-at dictionary
+  (~25k fault sets x full suite), the pure-Python object-graph engine one
+  chip at a time vs the canonicalize-dedup-batch kernel path.  Floor: >=5x.
+* **campaign throughput** — full-suite application over hundreds of random
+  double-fault chips, object-engine ``Tester.run`` per chip vs one batched
+  kernel evaluation (compile included).  Floor: >=3x.
+
+Results are also written to ``BENCH_kernel.json`` (override with
+``REPRO_BENCH_JSON``) so the perf trajectory is tracked across PRs;
+``REPRO_BENCH_SMOKE=1`` shrinks the configuration for the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from benchmarks.conftest import BENCH_JSON, SMOKE, pedantic_once
+from repro.core import generate_suite
+from repro.engine import get_scenario
+from repro.fpva import full_layout
+from repro.sim import (
+    BatchEvaluator,
+    ChipUnderTest,
+    CompiledFaultSet,
+    FaultDictionary,
+    Tester,
+)
+from repro.sim.faults import stuck_at_faults
+
+SIZE = 6 if SMOKE else 8
+DICT_MIN_SPEEDUP = 3.0 if SMOKE else 5.0
+CAMPAIGN_MIN_SPEEDUP = 2.0 if SMOKE else 3.0
+CAMPAIGN_TRIALS = 80 if SMOKE else 300
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into the machine-readable bench JSON."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    data["config"] = {"size": SIZE, "smoke": SMOKE}
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _bench_dictionary(fpva, vectors, universe):
+    t0 = time.perf_counter()
+    legacy = FaultDictionary(
+        fpva, vectors, universe=universe, max_cardinality=2, backend="legacy"
+    )
+    t_legacy = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    kernel = FaultDictionary(
+        fpva, vectors, universe=universe, max_cardinality=2, backend="kernel"
+    )
+    t_kernel = time.perf_counter() - t0
+    assert list(kernel._table.items()) == list(legacy._table.items())
+    assert kernel.resolution() == legacy.resolution()
+    return {
+        "fault_sets": sum(len(v) for v in legacy._table.values()),
+        "distinct_syndromes": legacy.distinct_syndromes,
+        "legacy_seconds": t_legacy,
+        "kernel_seconds": t_kernel,
+        "speedup": t_legacy / t_kernel,
+    }
+
+
+def test_dictionary_build_speedup(benchmark, capsys):
+    """Acceptance: >=5x on the 8x8 double-fault dictionary build."""
+    fpva = full_layout(SIZE, SIZE, name=f"kernel-bench-{SIZE}x{SIZE}")
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)
+    stats = pedantic_once(benchmark, _bench_dictionary, fpva, vectors, universe)
+    benchmark.extra_info.update(stats)
+    _record(f"dictionary_build_{SIZE}x{SIZE}_card2", stats)
+    with capsys.disabled():
+        print(
+            f"\n{SIZE}x{SIZE} card-2 dictionary ({stats['fault_sets']} fault "
+            f"sets, {len(vectors)} vectors): legacy "
+            f"{stats['legacy_seconds']:.2f}s vs kernel "
+            f"{stats['kernel_seconds']:.2f}s -> {stats['speedup']:.1f}x"
+        )
+    assert stats["speedup"] >= DICT_MIN_SPEEDUP, stats
+
+
+def _bench_campaign(fpva, vectors, trials):
+    scenario = get_scenario("stuck-at")
+    universe = scenario.universe(fpva)
+    rng = random.Random(0)
+    chips = [scenario.sample(universe, rng, 2) for _ in range(trials)]
+    legacy_tester = Tester(fpva, engine="object")  # pure-Python reference
+
+    t0 = time.perf_counter()
+    legacy_syndromes = [
+        legacy_tester.run(ChipUnderTest(fpva, faults), vectors).syndrome()
+        for faults in chips
+    ]
+    t_legacy = time.perf_counter() - t0
+
+    t0 = time.perf_counter()  # kernel compile is part of the batched cost
+    evaluator = BatchEvaluator(Tester(fpva).simulator.kernel, vectors)
+    fires_cache: dict = {}
+    rows = [
+        evaluator.slot_row(CompiledFaultSet(evaluator.kernel, faults, fires_cache))
+        for faults in chips
+    ]
+    evaluator.flush()
+    names = [v.name for v in vectors]
+    kernel_syndromes = [
+        tuple(
+            (names[vi], evaluator.observed_items(slot))
+            for vi, slot in enumerate(row)
+            if not evaluator.passed(vi, slot)
+        )
+        for row in rows
+    ]
+    t_kernel = time.perf_counter() - t0
+
+    assert kernel_syndromes == legacy_syndromes
+    return {
+        "trials": trials,
+        "vectors": len(vectors),
+        "distinct_scenarios": evaluator.distinct_scenarios,
+        "legacy_seconds": t_legacy,
+        "kernel_seconds": t_kernel,
+        "speedup": t_legacy / t_kernel,
+        "legacy_chips_per_second": trials / t_legacy,
+        "kernel_chips_per_second": trials / t_kernel,
+    }
+
+
+def test_campaign_throughput_speedup(benchmark, capsys):
+    """Acceptance: >=3x full-suite campaign throughput."""
+    fpva = full_layout(SIZE, SIZE, name=f"kernel-bench-{SIZE}x{SIZE}")
+    vectors = generate_suite(fpva).all_vectors()
+    stats = pedantic_once(benchmark, _bench_campaign, fpva, vectors, CAMPAIGN_TRIALS)
+    benchmark.extra_info.update(stats)
+    _record(f"campaign_full_suite_throughput_{SIZE}x{SIZE}", stats)
+    with capsys.disabled():
+        print(
+            f"\n{SIZE}x{SIZE} full-suite campaign ({stats['trials']} chips x "
+            f"{stats['vectors']} vectors, {stats['distinct_scenarios']} "
+            f"distinct states): legacy {stats['legacy_chips_per_second']:.0f} "
+            f"chips/s vs kernel {stats['kernel_chips_per_second']:.0f} "
+            f"chips/s -> {stats['speedup']:.1f}x"
+        )
+    assert stats["speedup"] >= CAMPAIGN_MIN_SPEEDUP, stats

@@ -17,6 +17,15 @@ import pytest
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "100"))
 
+#: Reduced-configuration mode for the CI smoke step: smaller arrays and
+#: relaxed speedup floors so the kernel bench finishes in seconds while
+#: still catching order-of-magnitude regressions.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+#: Where machine-readable bench results are written (perf trajectory
+#: tracking across PRs).
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_kernel.json")
+
 #: Sizes benchmarked by default vs. under REPRO_BENCH_FULL=1.
 DEFAULT_SIZES = (5, 10, 15, 20, 30) if FULL else (5, 10, 15)
 

@@ -24,9 +24,12 @@ fault — the same conclusion a tester working under the fault-model
 assumption would reach.  Either way every returned candidate is
 consistent with every outcome actually observed.
 
-Everything here needs only ``Tester.apply``; a future compiled
-reachability kernel (bitmask ``reach``) can accelerate the underlying
-simulation without touching this module or its API.
+Everything here needs only ``Tester.apply``; the compiled reachability
+kernel (bitmask ``reach`` in :mod:`repro.sim.kernel`) accelerates the
+underlying simulation below that API, exactly as this hook anticipated —
+scheduling additionally interns per-vector signatures to small integer
+ids at build so ``_best_split`` buckets on ints instead of hashing
+tuples.
 """
 
 from __future__ import annotations
@@ -55,6 +58,10 @@ class _Hypothesis:
     syndrome: Syndrome
     fault_sets: list[tuple[Fault, ...]]
     signatures: tuple[Signature, ...]  # predicted readout per vector index
+    #: Per-vector signature interned to a small int (see AdaptiveDiagnoser:
+    #: ids are assigned per vector in hypothesis order, so bucketing and
+    #: survivor filtering compare ints instead of hashing tuples).
+    sig_ids: tuple[int, ...] = ()
 
     @property
     def weight(self) -> int:
@@ -130,25 +137,52 @@ class AdaptiveDiagnoser:
                 )
             )
 
+        # Intern per-vector signatures to small integer ids (assigned in
+        # hypothesis order) so scheduling buckets on ints instead of
+        # repeatedly hashing signature tuples.
+        self._sig_maps: list[dict[Signature, int]] = [
+            {} for _ in self.vectors
+        ]
+        for h in self._hypotheses:
+            ids = []
+            for vi, sig in enumerate(h.signatures):
+                sig_map = self._sig_maps[vi]
+                ids.append(sig_map.setdefault(sig, len(sig_map)))
+            h.sig_ids = tuple(ids)
+
     # -- scheduling --------------------------------------------------------
     def _best_split(
-        self, alive: Sequence[_Hypothesis], unapplied: Sequence[int]
+        self, alive: Sequence[_Hypothesis], unapplied: Sequence[bool]
     ) -> tuple[int | None, float]:
-        """The unapplied vector whose outcome partition has max entropy."""
+        """The unapplied vector whose outcome partition has max entropy.
+
+        ``unapplied`` is a per-vector-index flag sequence.  Candidates are
+        scanned in ascending vector index and a challenger must be
+        *strictly* better, so ties break to the lowest vector index —
+        sessions replay identically across platforms and runs.
+        """
         best_index: int | None = None
         best_entropy = 0.0
         total = float(sum(h.weight for h in alive))
-        for vi in unapplied:
-            buckets: dict[Signature, int] = {}
-            for h in alive:
-                sig = h.signatures[vi]
-                buckets[sig] = buckets.get(sig, 0) + h.weight
-            if len(buckets) < 2:
+        sig_maps = self._sig_maps
+        for vi in range(len(self.vectors)):
+            if not unapplied[vi]:
                 continue
+            counts = [0] * len(sig_maps[vi])
+            for h in alive:
+                counts[h.sig_ids[vi]] += h.weight
+            # Bucket masses in sig-id order == first-occurrence order, so
+            # the entropy sum is evaluated deterministically.
+            distinct = 0
             entropy = 0.0
-            for mass in buckets.values():
+            for mass in counts:
+                if not mass:
+                    continue
+                distinct += 1
                 p = mass / total
                 entropy -= p * math.log2(p)
+            if distinct < 2:
+                continue
             if entropy > best_entropy:
                 best_entropy = entropy
                 best_index = vi
@@ -170,7 +204,9 @@ class AdaptiveDiagnoser:
         steps: list[AdaptiveStep] = []
         exhausted = False
         alive = list(self._hypotheses)
-        unapplied = list(range(len(self.vectors)))
+        # O(1) application marking (the previous list held indices and paid
+        # an O(n) scan per `.remove`); _best_split skips applied flags.
+        unapplied = bytearray([1]) * len(self.vectors)
 
         while len(alive) > 1:
             if max_vectors is not None and len(outcomes) >= max_vectors:
@@ -184,10 +220,13 @@ class AdaptiveDiagnoser:
                 # vector, or the suite cannot separate them at all.
                 break
             outcome = self.tester.apply(chip, self.vectors[vi])
-            observed = _signature(outcome.observed)
+            observed_id = self._sig_maps[vi].get(_signature(outcome.observed))
             before = len(alive)
-            alive = [h for h in alive if h.signatures[vi] == observed]
-            unapplied.remove(vi)
+            if observed_id is None:
+                alive = []  # readout no hypothesis predicts (off-model chip)
+            else:
+                alive = [h for h in alive if h.sig_ids[vi] == observed_id]
+            unapplied[vi] = 0
             outcomes.append(outcome)
             steps.append(
                 AdaptiveStep(

@@ -8,8 +8,12 @@ Because the shard structure is a function of the *trial count* alone, the
 aggregated :class:`CampaignResult` is bit-identical whatever ``workers``
 is; a pool only changes wall-clock.
 
-Scenario objects and arrays ride to the workers via pickling, so custom
-scenarios must be defined at module top level (the registered ones are).
+The array is compiled into a
+:class:`~repro.sim.kernel.ReachabilityKernel` **once** per campaign and
+shipped to every shard, so workers deserialize flat integer arrays instead
+of re-deriving an object-graph simulator per shard.  Scenario objects and
+arrays ride to the workers via pickling, so custom scenarios must be
+defined at module top level (the registered ones are).
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from typing import Sequence
 from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.campaign import CampaignResult, run_campaign as _run_serial
+from repro.sim.kernel import ReachabilityKernel
 
 #: Trials per logical shard.  Small enough that modest campaigns still fan
 #: out, large enough that per-task pickling stays negligible.
@@ -40,7 +45,7 @@ def _mix_seed(seed: int, num_faults: int, shard: int) -> int:
 
 def _run_shard(payload) -> CampaignResult:
     (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
-     keep_undetected, scenario) = payload
+     keep_undetected, scenario, backend, kernel) = payload
     return _run_serial(
         fpva,
         vectors,
@@ -50,6 +55,8 @@ def _run_shard(payload) -> CampaignResult:
         include_control_leaks=include_control_leaks,
         keep_undetected=keep_undetected,
         scenario=scenario,
+        backend=backend,
+        kernel=kernel,
     )
 
 
@@ -63,6 +70,8 @@ def _shard_payloads(
     keep_undetected,
     scenario,
     shard_trials,
+    backend,
+    kernel,
 ):
     payloads = []
     shard = 0
@@ -79,6 +88,8 @@ def _shard_payloads(
                 include_control_leaks,
                 keep_undetected,
                 scenario,
+                backend,
+                kernel,
             )
         )
         remaining -= size
@@ -110,8 +121,10 @@ def run_campaign(
     keep_undetected: int = 10,
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
+    backend: str = "kernel",
 ) -> CampaignResult:
     """Sharded campaign; result is independent of ``workers``."""
+    kernel = ReachabilityKernel(fpva) if backend == "kernel" else None
     payloads = _shard_payloads(
         fpva,
         vectors,
@@ -122,6 +135,8 @@ def run_campaign(
         keep_undetected,
         scenario,
         shard_trials,
+        backend,
+        kernel,
     )
     if workers <= 1 or len(payloads) <= 1:
         shards = [_run_shard(p) for p in payloads]
@@ -142,12 +157,14 @@ def run_sweep(
     keep_undetected: int = 10,
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
+    backend: str = "kernel",
 ) -> dict[int, CampaignResult]:
     """The paper's k-faults sweep, with all (k, shard) tasks in one pool.
 
     Flattening the sweep before fanning out keeps every worker busy even
     when individual fault counts have few shards.
     """
+    kernel = ReachabilityKernel(fpva) if backend == "kernel" else None
     tagged: list[tuple[int, tuple]] = []
     for k in fault_counts:
         for payload in _shard_payloads(
@@ -160,6 +177,8 @@ def run_sweep(
             keep_undetected,
             scenario,
             shard_trials,
+            backend,
+            kernel,
         ):
             tagged.append((k, payload))
     if workers <= 1 or len(tagged) <= 1:

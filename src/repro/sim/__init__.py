@@ -17,6 +17,11 @@ from repro.sim.faults import (
     faulty_valves,
     stuck_at_faults,
 )
+from repro.sim.kernel import (
+    BatchEvaluator,
+    CompiledFaultSet,
+    ReachabilityKernel,
+)
 from repro.sim.pressure import PressureSimulator
 from repro.sim.tester import Tester, TestRunResult, VectorOutcome
 
@@ -40,6 +45,9 @@ __all__ = [
     "faults_compatible",
     "faulty_valves",
     "stuck_at_faults",
+    "BatchEvaluator",
+    "CompiledFaultSet",
+    "ReachabilityKernel",
     "PressureSimulator",
     "Tester",
     "TestRunResult",

@@ -16,6 +16,7 @@ from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.chip import ChipUnderTest
 from repro.sim.faults import Fault, fault_universe, faults_compatible
+from repro.sim.kernel import BatchEvaluator, CompiledFaultSet, ReachabilityKernel
 from repro.sim.tester import Tester
 
 
@@ -63,6 +64,8 @@ def run_campaign(
     include_control_leaks: bool = True,
     keep_undetected: int = 10,
     scenario=None,
+    backend: str = "kernel",
+    kernel=None,
 ) -> CampaignResult:
     """Inject ``num_faults`` random faults ``trials`` times; count detections.
 
@@ -70,6 +73,15 @@ def run_campaign(
     :class:`repro.engine.scenarios.FaultScenario` protocol (``universe(fpva)``
     and ``sample(universe, rng, num_faults)``); when omitted the paper's
     stuck-at/control-leak fault space is sampled directly.
+
+    The default ``kernel`` backend canonicalizes every trial chip to its
+    per-vector effective-state masks, deduplicates, and evaluates the whole
+    campaign through the compiled bitmask kernel — 64 scenarios per machine
+    word.  ``backend="legacy"`` keeps the original chip-at-a-time loop.
+    Both draw fault sets in the same RNG order and report bit-identical
+    :class:`CampaignResult`\\ s.  ``kernel`` optionally supplies a
+    pre-compiled :class:`~repro.sim.kernel.ReachabilityKernel` (the sharded
+    parallel runner compiles once and ships it to every worker).
     """
     rng = random.Random(seed)
     if scenario is None:
@@ -78,8 +90,23 @@ def run_campaign(
     else:
         universe = scenario.universe(fpva)
         draw = lambda: scenario.sample(universe, rng, num_faults)  # noqa: E731
-    tester = Tester(fpva)
     result = CampaignResult(num_faults=num_faults, trials=trials, detected=0)
+    if backend == "kernel":
+        tester = Tester(fpva, kernel=kernel)
+        evaluator = None
+        try:
+            evaluator = BatchEvaluator(tester.simulator.kernel, vectors)
+        except ValueError:
+            pass  # partial expectations: fall through to the legacy loop
+        if evaluator is not None:
+            _run_batched(
+                evaluator, draw, trials, keep_undetected, result
+            )
+            return result
+    elif backend != "legacy":
+        raise ValueError(f"unknown campaign backend {backend!r}")
+    else:
+        tester = Tester(fpva, engine="object")
     for _ in range(trials):
         faults = draw()
         chip = ChipUnderTest(fpva, faults)
@@ -91,6 +118,41 @@ def run_campaign(
     return result
 
 
+def _run_batched(
+    evaluator: BatchEvaluator,
+    draw,
+    trials: int,
+    keep_undetected: int,
+    result: CampaignResult,
+) -> None:
+    """Kernel-backed campaign body: draw everything, simulate once.
+
+    A chip is detected iff *any* vector reads off-expectation, which does
+    not depend on the early-exit order of the legacy loop, so detection
+    counts and undetected examples match it exactly.
+    """
+    kernel = evaluator.kernel
+    fires_cache: dict = {}
+    drawn = [draw() for _ in range(trials)]
+    rows = []
+    for faults in drawn:
+        # Same physical-consistency gate ChipUnderTest applies on the
+        # legacy path (scenarios are expected to sample compatible sets).
+        if not faults_compatible(faults):
+            raise ValueError(f"incompatible fault set: {tuple(faults)}")
+        rows.append(
+            evaluator.slot_row(CompiledFaultSet(kernel, faults, fires_cache))
+        )
+    evaluator.flush()
+    expected = evaluator.expected_rows
+    observed = evaluator.observed_row
+    for faults, row in zip(drawn, rows):
+        if any(observed(slot) != expected[vi] for vi, slot in enumerate(row)):
+            result.detected += 1
+        elif len(result.undetected_examples) < keep_undetected:
+            result.undetected_examples.append(faults)
+
+
 def run_sweep(
     fpva: FPVA,
     vectors: Sequence[TestVector],
@@ -99,8 +161,12 @@ def run_sweep(
     seed: int = 0,
     include_control_leaks: bool = True,
     scenario=None,
+    backend: str = "kernel",
+    kernel=None,
 ) -> dict[int, CampaignResult]:
     """The paper's sweep: k = 1..5 faults, ``trials`` chips per k."""
+    if backend == "kernel" and kernel is None:
+        kernel = ReachabilityKernel(fpva)  # compile once for every k
     return {
         k: run_campaign(
             fpva,
@@ -110,6 +176,8 @@ def run_sweep(
             seed=seed + k,
             include_control_leaks=include_control_leaks,
             scenario=scenario,
+            backend=backend,
+            kernel=kernel,
         )
         for k in fault_counts
     }

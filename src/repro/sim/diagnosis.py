@@ -6,6 +6,18 @@ defect can still run applications mapped around the bad region.  This module
 implements classic dictionary diagnosis on top of the simulator: precompute
 the syndrome of every single fault (optionally every fault pair) under the
 generated suite, then look up observed syndromes.
+
+Construction cost is dominated by repeated reachability simulation, and
+most fault sets induce states the suite has already seen — a stuck-at-0 on
+a valve a vector commands closed changes nothing, and thousands of double
+faults collapse onto the same effective ``(open, blocked)`` masks.  The
+default ``kernel`` backend therefore canonicalizes every (fault set,
+vector) pair to its effective-state masks, simulates each **distinct**
+scenario exactly once through the compiled bitmask kernel (64 scenarios
+per machine word), and assembles syndromes from the shared slot table.
+The ``legacy`` backend retains the original one-chip-at-a-time loop; both
+produce identical tables (asserted by the equivalence property test and
+``benchmarks/bench_kernel.py``).
 """
 
 from __future__ import annotations
@@ -19,6 +31,7 @@ from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.chip import ChipUnderTest
 from repro.sim.faults import Fault, fault_universe, faults_compatible
+from repro.sim.kernel import BatchEvaluator, CompiledFaultSet
 from repro.sim.tester import Tester, TestRunResult
 
 Syndrome = tuple
@@ -50,9 +63,12 @@ class FaultDictionary:
         include_control_leaks: bool = True,
         max_cardinality: int = 1,
         universe: Sequence[Fault] | None = None,
+        backend: str = "kernel",
     ):
         if max_cardinality not in (1, 2):
             raise ValueError("dictionary supports single and double faults")
+        if backend not in ("kernel", "legacy"):
+            raise ValueError(f"unknown dictionary backend {backend!r}")
         self.fpva = fpva
         self.vectors = list(vectors)
         self.tester = Tester(fpva)
@@ -69,14 +85,57 @@ class FaultDictionary:
                 for pair in itertools.combinations(universe, 2)
                 if faults_compatible(pair)
             )
+        if backend == "kernel":
+            self._build_batched(fault_sets)
+        else:
+            self._build_legacy(fault_sets)
+
+    # -- construction ------------------------------------------------------
+    def _build_legacy(self, fault_sets: Sequence[tuple[Fault, ...]]) -> None:
+        """One full-suite simulation per fault set through the pure-Python
+        object-graph engine (the pre-kernel reference path)."""
+        tester = Tester(self.fpva, engine="object")
         for faults in fault_sets:
-            syndrome = self._syndrome_of(faults)
+            syndrome = self._syndrome_of(faults, tester=tester)
             if syndrome:  # undetectable sets cannot be diagnosed
                 self._table[syndrome].append(faults)
 
-    def _syndrome_of(self, faults: tuple[Fault, ...]) -> Syndrome:
+    def _build_batched(self, fault_sets: Sequence[tuple[Fault, ...]]) -> None:
+        """Canonicalize by effective state, simulate distinct states once."""
+        kernel = self.tester.simulator.kernel
+        try:
+            evaluator = BatchEvaluator(kernel, self.vectors)
+        except ValueError:
+            # Vectors whose expectations do not cover the array's sinks
+            # cannot be compared row-wise; fall back to the reference path.
+            self._build_legacy(fault_sets)
+            return
+        fires_cache: dict = {}
+        slot_rows = [
+            evaluator.slot_row(CompiledFaultSet(kernel, faults, fires_cache))
+            for faults in fault_sets
+        ]
+        evaluator.flush()
+
+        names = [v.name for v in self.vectors]
+        syndrome_cache: dict[tuple[int, ...], Syndrome] = {}
+        for faults, row in zip(fault_sets, slot_rows):
+            syndrome = syndrome_cache.get(row)
+            if syndrome is None:
+                syndrome = tuple(
+                    (names[vi], evaluator.observed_items(slot))
+                    for vi, slot in enumerate(row)
+                    if not evaluator.passed(vi, slot)
+                )
+                syndrome_cache[row] = syndrome
+            if syndrome:  # undetectable sets cannot be diagnosed
+                self._table[syndrome].append(faults)
+
+    def _syndrome_of(
+        self, faults: tuple[Fault, ...], tester: Tester | None = None
+    ) -> Syndrome:
         chip = ChipUnderTest(self.fpva, faults)
-        return self.tester.run(chip, self.vectors).syndrome()
+        return (tester or self.tester).run(chip, self.vectors).syndrome()
 
     @property
     def distinct_syndromes(self) -> int:

@@ -2,30 +2,124 @@
 
 The paper's test observation model is binary: air pressure applied at the
 source ports either reaches a pressure meter or it does not, depending on
-which valves are open.  That is graph reachability on the cell graph, which
-this module implements with integer-indexed adjacency lists so fault
-campaigns (thousands of vector applications) stay fast.
+which valves are open.  That is graph reachability on the cell graph.
+
+Single queries are answered by the compiled
+:class:`~repro.sim.kernel.ReachabilityKernel` (flat integer arrays, int
+bitmask tests — no per-arc ``Edge`` hashing, no per-call dict rebuilds);
+batch consumers grab :attr:`PressureSimulator.kernel` directly and
+evaluate 64 scenarios per machine word.  The original object-graph BFS is
+retained verbatim as the ``*_legacy`` methods: it is the pure-Python
+reference the kernel is differentially tested and benchmarked against.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.fpva.array import FPVA
 from repro.fpva.geometry import Cell, Edge
-from repro.fpva.ports import Port
+from repro.sim.kernel import ReachabilityKernel
+
+
+def _as_open_set(open_valves: Iterable[Edge]):
+    """Coerce a commanded-open iterable to a set exactly once (shared by
+    every legacy query path)."""
+    if isinstance(open_valves, (set, frozenset)):
+        return open_valves
+    return set(open_valves)
 
 
 class PressureSimulator:
     """Reachability-based pressure simulation for one array.
 
     The simulator is immutable and reusable: build once per array, call
-    :meth:`meter_readings` per vector application.
+    :meth:`meter_readings` per vector application.  A pre-compiled kernel
+    may be supplied (campaign workers ship one per pool instead of
+    re-deriving the graph per shard).
     """
 
-    def __init__(self, fpva: FPVA):
+    def __init__(
+        self,
+        fpva: FPVA,
+        kernel: ReachabilityKernel | None = None,
+        engine: str = "kernel",
+    ):
         self.fpva = fpva
+        if kernel is not None and kernel.fpva is not fpva:
+            raise ValueError("kernel was compiled for a different array")
+        self._legacy_built = False
+        if engine == "kernel":
+            self.kernel = (
+                kernel if kernel is not None else ReachabilityKernel(fpva)
+            )
+        elif engine == "object":
+            # Pure-Python reference engine: public queries dispatch to the
+            # retained object-graph BFS (bound per instance — no per-call
+            # branching), and no kernel is compiled.
+            self.kernel = kernel
+            self.meter_readings = self.meter_readings_legacy
+            self.pressurized_nodes = self.pressurized_nodes_legacy
+            self._build_legacy()
+        else:
+            raise ValueError(f"unknown simulator engine {engine!r}")
+
+    # -- kernel-backed queries ---------------------------------------------
+    def meter_readings(
+        self,
+        open_valves: Iterable[Edge],
+        blocked: frozenset[Edge] = frozenset(),
+    ) -> dict[str, bool]:
+        """Pressure reading at every sink port, keyed by port name."""
+        kernel = self.kernel
+        return kernel.readings(
+            kernel.valve_mask(open_valves),
+            kernel.edge_mask(blocked) if blocked else 0,
+        )
+
+    def pressurized_nodes(
+        self,
+        open_valves: Iterable[Edge],
+        blocked: frozenset[Edge] = frozenset(),
+    ) -> set:
+        """All cell/port nodes reached by source pressure.
+
+        ``blocked`` removes flow edges outright — a physically obstructed
+        connection conducts no pressure regardless of valve state (the
+        :class:`~repro.sim.faults.ChannelBlocked` scenario fault).
+        """
+        kernel = self.kernel
+        seen = kernel.reach(
+            kernel.valve_mask(open_valves),
+            kernel.edge_mask(blocked) if blocked else 0,
+        )
+        nodes = kernel.nodes
+        return {nodes[i] for i, hit in enumerate(seen) if hit}
+
+    def cells_pressurized(self, open_valves: Iterable[Edge]) -> set[Cell]:
+        """Only the pressurized fluid cells (ports filtered out)."""
+        return {
+            node
+            for node in self.pressurized_nodes(open_valves)
+            if isinstance(node, Cell)
+        }
+
+    def sink_separated(self, open_valves: Iterable[Edge]) -> bool:
+        """True if no sink sees pressure (the cut-set expectation)."""
+        return not any(self.meter_readings(open_valves).values())
+
+    # -- retained pure-Python reference ------------------------------------
+    def _build_legacy(self) -> None:
+        """Build the original object-graph adjacency, on first legacy use.
+
+        Per-query constants that the original implementation rebuilt on
+        every call (the sink-index dict and the readings template) are
+        hoisted here.
+        """
+        if self._legacy_built:
+            return
+        fpva = self.fpva
         nodes: list = list(fpva.cells()) + list(fpva.ports)
         self._index: dict = {node: i for i, node in enumerate(nodes)}
         self._nodes = nodes
@@ -50,21 +144,18 @@ class PressureSimulator:
 
         self._source_idx = [self._index[p] for p in fpva.sources]
         self._sinks = [(p.name, self._index[p]) for p in fpva.sinks]
+        self._sink_idx = {idx: name for name, idx in self._sinks}
+        self._sink_names = [name for name, _ in self._sinks]
+        self._legacy_built = True
 
-    def pressurized_nodes(
+    def pressurized_nodes_legacy(
         self,
         open_valves: Iterable[Edge],
         blocked: frozenset[Edge] = frozenset(),
     ) -> set:
-        """All cell/port nodes reached by source pressure.
-
-        ``blocked`` removes flow edges outright — a physically obstructed
-        connection conducts no pressure regardless of valve state (the
-        :class:`~repro.sim.faults.ChannelBlocked` scenario fault).
-        """
-        open_set = (
-            open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
-        )
+        """Original object-graph BFS (differential reference for the kernel)."""
+        self._build_legacy()
+        open_set = _as_open_set(open_valves)
         seen = [False] * len(self._nodes)
         queue = deque()
         for s in self._source_idx:
@@ -83,18 +174,17 @@ class PressureSimulator:
                 queue.append(w)
         return {self._nodes[i] for i, hit in enumerate(seen) if hit}
 
-    def meter_readings(
+    def meter_readings_legacy(
         self,
         open_valves: Iterable[Edge],
         blocked: frozenset[Edge] = frozenset(),
     ) -> dict[str, bool]:
-        """Pressure reading at every sink port, keyed by port name."""
-        open_set = (
-            open_valves if isinstance(open_valves, (set, frozenset)) else set(open_valves)
-        )
-        n_sinks = len(self._sinks)
-        sink_idx = {idx: name for name, idx in self._sinks}
-        readings: dict[str, bool] = {name: False for name, _ in self._sinks}
+        """Original object-graph readings (differential reference)."""
+        self._build_legacy()
+        open_set = _as_open_set(open_valves)
+        sink_idx = self._sink_idx
+        n_sinks = len(sink_idx)
+        readings: dict[str, bool] = dict.fromkeys(self._sink_names, False)
 
         seen = [False] * len(self._nodes)
         queue = deque()
@@ -117,15 +207,3 @@ class PressureSimulator:
                     found += 1
                 queue.append(w)
         return readings
-
-    def cells_pressurized(self, open_valves: Iterable[Edge]) -> set[Cell]:
-        """Only the pressurized fluid cells (ports filtered out)."""
-        return {
-            node
-            for node in self.pressurized_nodes(open_valves)
-            if isinstance(node, Cell)
-        }
-
-    def sink_separated(self, open_valves: Iterable[Edge]) -> bool:
-        """True if no sink sees pressure (the cut-set expectation)."""
-        return not any(self.meter_readings(open_valves).values())

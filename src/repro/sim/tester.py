@@ -64,9 +64,9 @@ class Tester:
 
     __test__ = False  # not a pytest test class despite the name
 
-    def __init__(self, fpva: FPVA):
+    def __init__(self, fpva: FPVA, kernel=None, engine: str = "kernel"):
         self.fpva = fpva
-        self.simulator = PressureSimulator(fpva)
+        self.simulator = PressureSimulator(fpva, kernel=kernel, engine=engine)
 
     def expected_readings(self, open_valves: Iterable) -> dict[str, bool]:
         """Fault-free meter readings for a commanded open set."""

@@ -94,6 +94,47 @@ class TestEquivalenceProperty:
             )
 
 
+class TestDeterministicScheduling:
+    def test_best_split_breaks_ties_to_lowest_vector_index(self, small_bundle):
+        """Equal-entropy candidates resolve to the lowest vector index, so
+        sessions replay identically across platforms and runs."""
+        import math
+
+        fpva, vectors = small_bundle
+        engine = AdaptiveDiagnoser(FaultDictionary(fpva, vectors))
+        alive = list(engine._hypotheses)
+        unapplied = bytearray([1]) * len(vectors)
+        chosen, best_entropy = engine._best_split(alive, unapplied)
+        assert chosen is not None
+
+        # Recompute every vector's entropy independently; the winner must
+        # be the *first* index attaining the maximum.
+        total = float(sum(h.weight for h in alive))
+        entropies = {}
+        for vi in range(len(vectors)):
+            buckets: dict[int, int] = {}
+            for h in alive:
+                buckets[h.sig_ids[vi]] = buckets.get(h.sig_ids[vi], 0) + h.weight
+            if len(buckets) < 2:
+                continue
+            entropies[vi] = -sum(
+                (m / total) * math.log2(m / total) for m in buckets.values()
+            )
+        top = max(entropies.values())
+        assert best_entropy == top
+        assert chosen == min(vi for vi, e in entropies.items() if e == top)
+
+    def test_sessions_replay_identically(self, small_bundle):
+        fpva, vectors = small_bundle
+        dictionary = FaultDictionary(fpva, vectors)
+        chip = ChipUnderTest(fpva, [StuckAt0(fpva.valves[3])])
+        runs = [AdaptiveDiagnoser(dictionary).diagnose(chip) for _ in range(2)]
+        assert [s.vector_name for s in runs[0].steps] == [
+            s.vector_name for s in runs[1].steps
+        ]
+        assert runs[0].report == runs[1].report
+
+
 class TestSessionMechanics:
     def test_early_stop_saves_vectors(self, small_bundle):
         fpva, vectors = small_bundle
