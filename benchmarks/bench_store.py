@@ -1,0 +1,181 @@
+"""Persistent artifact store: warm starts and streaming double-fault builds.
+
+Two acceptance measurements for the ``repro.store`` subsystem:
+
+* **warm-start** — building the 8x8 ``max_cardinality=2`` stuck-at
+  dictionary cold (simulate + persist) vs re-constructing it from the
+  store (no simulation).  Floor: the warm load must be **>=20x** faster,
+  with bit-identical tables and diagnosis reports.
+* **streaming scale-up** — the 10x10 double-fault dictionary (~65k fault
+  sets), infeasible to rebuild per invocation before the store existed,
+  built through the chunked streaming path under a ``tracemalloc`` peak
+  budget, then warm-loaded.
+
+Results are written to ``BENCH_store.json`` (override with
+``REPRO_BENCH_STORE_JSON``) so the warm/cold trajectory is tracked across
+PRs; ``REPRO_BENCH_SMOKE=1`` shrinks both configurations for the CI smoke
+step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+import tracemalloc
+
+from benchmarks.conftest import SMOKE, pedantic_once
+from repro.core import generate_suite
+from repro.fpva import full_layout
+from repro.sim import ChipUnderTest, FaultDictionary
+from repro.sim.faults import stuck_at_faults
+from repro.store import ArtifactStore
+
+BENCH_JSON = os.environ.get("REPRO_BENCH_STORE_JSON", "BENCH_store.json")
+
+SIZE = 6 if SMOKE else 8
+WARM_MIN_SPEEDUP = 8.0 if SMOKE else 20.0
+STREAM_SIZE = 7 if SMOKE else 10
+#: Peak tracemalloc budget for the streaming build.  The 10x10 build peaks
+#: well under 256 MB (~180 MB measured); the budget flags any regression
+#: back toward materializing the quadratic fault-set universe.
+STREAM_PEAK_BUDGET_MB = 64 if SMOKE else 512
+STREAM_CHUNK = 4096
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one section into the machine-readable bench JSON."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data[section] = payload
+    data["config"] = {"size": SIZE, "stream_size": STREAM_SIZE, "smoke": SMOKE}
+    with open(BENCH_JSON, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _bench_warm_start(fpva, vectors, universe, store):
+    t0 = time.perf_counter()
+    cold = FaultDictionary(
+        fpva, vectors, universe=universe, max_cardinality=2, store=store
+    )
+    t_cold = time.perf_counter() - t0
+    # Warm starts are the *repeated* path; best-of-3 keeps the one-off
+    # first-touch costs (page cache, importer state) out of the floor.
+    t_warm = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        warm = FaultDictionary(
+            fpva, vectors, universe=universe, max_cardinality=2, store=store
+        )
+        t_warm = min(t_warm, time.perf_counter() - t0)
+
+    assert not cold.warm_loaded and warm.warm_loaded
+    assert list(warm._table.items()) == list(cold._table.items())
+    rng = random.Random(0)
+    for _ in range(10):
+        chip = ChipUnderTest(fpva, (rng.choice(universe),))
+        assert warm.diagnose_chip(chip) == cold.diagnose_chip(chip)
+
+    return {
+        "fault_sets": cold.total_fault_sets,
+        "distinct_syndromes": cold.distinct_syndromes,
+        "cold_build_seconds": t_cold,
+        "warm_load_seconds": t_warm,
+        "speedup": t_cold / t_warm,
+    }
+
+
+def test_warm_start_speedup(benchmark, tmp_path, capsys):
+    """Acceptance: warm-start dictionary load >=20x faster than cold build."""
+    fpva = full_layout(SIZE, SIZE, name=f"store-bench-{SIZE}x{SIZE}")
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)
+    store = ArtifactStore(tmp_path)
+    stats = pedantic_once(
+        benchmark, _bench_warm_start, fpva, vectors, universe, store
+    )
+    benchmark.extra_info.update(stats)
+    _record(f"warm_start_{SIZE}x{SIZE}_card2", stats)
+    with capsys.disabled():
+        print(
+            f"\n{SIZE}x{SIZE} card-2 dictionary ({stats['fault_sets']} fault "
+            f"sets): cold {stats['cold_build_seconds']:.2f}s vs warm "
+            f"{stats['warm_load_seconds'] * 1000:.0f}ms -> "
+            f"{stats['speedup']:.0f}x"
+        )
+    assert stats["speedup"] >= WARM_MIN_SPEEDUP, stats
+
+
+def _bench_streaming(fpva, vectors, universe, store):
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    cold = FaultDictionary(
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=2,
+        store=store,
+        chunk_size=STREAM_CHUNK,
+    )
+    t_cold = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    t0 = time.perf_counter()
+    warm = FaultDictionary(
+        fpva, vectors, universe=universe, max_cardinality=2, store=store
+    )
+    t_warm = time.perf_counter() - t0
+    assert warm.warm_loaded
+    assert list(warm._table.items()) == list(cold._table.items())
+
+    artifact = store.dictionaries.path_for(cold.digest)
+    disk_bytes = sum(f.stat().st_size for f in artifact.iterdir())
+    return {
+        "universe": len(universe),
+        "fault_sets": cold.total_fault_sets,
+        "distinct_syndromes": cold.distinct_syndromes,
+        "vectors": len(vectors),
+        "chunk_size": STREAM_CHUNK,
+        "chunks": store.dictionaries.meta(cold.digest)["chunks"],
+        "cold_build_seconds": t_cold,
+        "warm_load_seconds": t_warm,
+        "peak_memory_mb": peak / 1e6,
+        "artifact_kb": disk_bytes / 1024,
+    }
+
+
+def test_streaming_double_fault_scale_up(benchmark, tmp_path, capsys):
+    """Acceptance: the 10x10 double-fault dictionary builds through the
+    streaming path inside a fixed memory budget (and then warm-loads)."""
+    fpva = full_layout(
+        STREAM_SIZE, STREAM_SIZE, name=f"store-stream-{STREAM_SIZE}"
+    )
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)
+    store = ArtifactStore(tmp_path)
+    stats = pedantic_once(
+        benchmark, _bench_streaming, fpva, vectors, universe, store
+    )
+    benchmark.extra_info.update(stats)
+    _record(
+        f"streaming_build_{STREAM_SIZE}x{STREAM_SIZE}_card2", stats
+    )
+    with capsys.disabled():
+        print(
+            f"\n{STREAM_SIZE}x{STREAM_SIZE} card-2 streaming build "
+            f"({stats['fault_sets']} fault sets, {stats['chunks']} chunks): "
+            f"{stats['cold_build_seconds']:.1f}s at "
+            f"{stats['peak_memory_mb']:.0f}MB peak, warm reload "
+            f"{stats['warm_load_seconds'] * 1000:.0f}ms, artifact "
+            f"{stats['artifact_kb']:.0f}KB"
+        )
+    assert stats["peak_memory_mb"] <= STREAM_PEAK_BUDGET_MB, stats
+    assert stats["warm_load_seconds"] < stats["cold_build_seconds"], stats

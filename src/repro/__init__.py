@@ -8,7 +8,9 @@ The package is organized in four layers:
 * :mod:`repro.fpva` — the chip model (lattice, arrays, layouts, devices);
 * :mod:`repro.sim`  — pressure simulation, fault injection, diagnosis;
 * :mod:`repro.core` — the paper's test generation (flow paths, cut-sets,
-  control-leakage, hierarchy, baseline, validation, rendering).
+  control-leakage, hierarchy, baseline, validation, rendering);
+* :mod:`repro.store` — content-addressed on-disk persistence of compiled
+  artifacts (kernels, fault dictionaries) for warm starts.
 
 Quickstart::
 
@@ -66,6 +68,7 @@ from repro.sim import (
     run_campaign,
     run_sweep,
 )
+from repro.store import ArtifactStore
 
 __version__ = "1.0.0"
 
@@ -108,5 +111,6 @@ __all__ = [
     "fault_universe",
     "run_campaign",
     "run_sweep",
+    "ArtifactStore",
     "__version__",
 ]

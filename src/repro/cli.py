@@ -9,10 +9,15 @@ Commands
 ``campaign``  Run a random fault-injection campaign against a generated
               suite and report detection rates.  ``--workers N`` shards the
               trials over a process pool (same results, less wall-clock);
-              ``--scenario NAME`` swaps the fault workload.
+              ``--scenario NAME`` swaps the fault workload; ``--cache-dir``
+              ships the compiled kernel to workers by artifact path.
 ``diagnose``  Inject random faults and localize them with the dictionary —
               ``--adaptive`` schedules vectors one at a time by information
-              gain instead of applying the whole suite.
+              gain instead of applying the whole suite; ``--cache-dir``
+              warm-starts the dictionary from the artifact store.
+``warm``      Prebuild the cached artifacts (compiled kernel + fault
+              dictionary) for an array into ``--cache-dir``, so later
+              ``campaign``/``diagnose`` runs skip compilation entirely.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.engine import (
 )
 from repro.fpva import TABLE1_SIZES, full_layout, table1_layout
 from repro.sim import ChipUnderTest, FaultDictionary
+from repro.store import ArtifactStore
 
 
 def _layout(args):
@@ -103,6 +109,7 @@ def cmd_campaign(args) -> int:
         seed=args.seed,
         workers=args.workers,
         scenario=scenario,
+        cache_dir=args.cache_dir,
     )
     failures = 0
     for k, result in sorted(sweep.items()):
@@ -120,7 +127,19 @@ def cmd_diagnose(args) -> int:
     print(suite.summary())
     scenario = get_scenario(args.scenario)
     universe = scenario.universe(fpva)
-    dictionary = FaultDictionary(fpva, suite.all_vectors(), universe=universe)
+    t0 = time.perf_counter()
+    dictionary = FaultDictionary(
+        fpva,
+        suite.all_vectors(),
+        universe=universe,
+        max_cardinality=args.cardinality,
+        store=args.cache_dir,
+    )
+    print(
+        f"dictionary {'warm-loaded' if dictionary.warm_loaded else 'built'} "
+        f"in {time.perf_counter() - t0:.2f}s "
+        f"({dictionary.distinct_syndromes} syndromes)"
+    )
     engine = AdaptiveDiagnoser(dictionary) if args.adaptive else None
     rng = random.Random(args.seed)
 
@@ -152,6 +171,41 @@ def cmd_diagnose(args) -> int:
         f"applied, {elapsed:.2f}s"
     )
     return 0 if localized == args.trials else 1
+
+
+def cmd_warm(args) -> int:
+    """Prebuild the cached artifacts for one array configuration."""
+    fpva = _layout(args)
+    suite = TestGenerator(fpva).generate().testset
+    print(suite.summary())
+    store = ArtifactStore(args.cache_dir)
+
+    t0 = time.perf_counter()
+    kernel = store.kernels.get_or_compile(fpva)
+    print(
+        f"kernel  {store.kernels.path_for(fpva).name}: {kernel!r} "
+        f"({time.perf_counter() - t0:.2f}s)"
+    )
+
+    scenario = get_scenario(args.scenario)
+    universe = scenario.universe(fpva)
+    t0 = time.perf_counter()
+    dictionary = FaultDictionary(
+        fpva,
+        suite.all_vectors(),
+        universe=universe,
+        max_cardinality=args.cardinality,
+        store=store,
+        kernel=kernel,
+    )
+    print(
+        f"dictionary  {dictionary.digest}: "
+        f"{dictionary.total_fault_sets} detectable fault sets, "
+        f"{dictionary.distinct_syndromes} syndromes "
+        f"({'warm' if dictionary.warm_loaded else 'cold'}, "
+        f"{time.perf_counter() - t0:.2f}s)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -190,6 +244,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool size; results are worker-count independent")
     p.add_argument("--scenario", choices=scenario_names(), default=None,
                    help="fault workload (default: the paper's stuck-at space)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact store; workers load the compiled kernel "
+                        "from here instead of unpickling one per shard")
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("diagnose", help="inject faults and localize them")
@@ -201,7 +258,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="faults injected per chip (dictionary models singles)")
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cardinality", type=int, choices=(1, 2), default=1,
+                   help="max faults per dictionary entry (match the `warm` "
+                        "invocation to hit its cached artifact)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact store; warm-starts the fault dictionary "
+                        "when a matching artifact exists (see `warm`)")
     p.set_defaults(func=cmd_diagnose)
+
+    p = sub.add_parser(
+        "warm", help="prebuild cached artifacts (kernel + dictionary)"
+    )
+    _add_array_args(p)
+    p.add_argument("--cache-dir", required=True,
+                   help="artifact store directory to populate")
+    p.add_argument("--scenario", choices=scenario_names(), default="stuck-at",
+                   help="fault universe the dictionary is built over "
+                        "(must match the later `diagnose` invocation)")
+    p.add_argument("--cardinality", type=int, choices=(1, 2), default=1,
+                   help="max faults per dictionary entry (2 streams the "
+                        "quadratic double-fault universe to disk)")
+    p.set_defaults(func=cmd_warm)
     return parser
 
 

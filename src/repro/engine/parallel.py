@@ -3,21 +3,27 @@
 The section IV experiment is embarrassingly parallel: trials are
 independent chips.  The runner splits a campaign into fixed-size logical
 shards, seeds each shard's RNG by mixing (seed, fault count, shard index)
-— never by worker identity — and merges shard results in shard order.
-Because the shard structure is a function of the *trial count* alone, the
-aggregated :class:`CampaignResult` is bit-identical whatever ``workers``
-is; a pool only changes wall-clock.
+through the shared splitmix64 finalizer (:mod:`repro.sim.seeding`) — never
+by worker identity — and merges shard results in shard order.  Because the
+shard structure is a function of the *trial count* alone, the aggregated
+:class:`CampaignResult` is bit-identical whatever ``workers`` is; a pool
+only changes wall-clock.
 
 The array is compiled into a
-:class:`~repro.sim.kernel.ReachabilityKernel` **once** per campaign and
-shipped to every shard, so workers deserialize flat integer arrays instead
-of re-deriving an object-graph simulator per shard.  Scenario objects and
-arrays ride to the workers via pickling, so custom scenarios must be
-defined at module top level (the registered ones are).
+:class:`~repro.sim.kernel.ReachabilityKernel` **once** per campaign.  By
+default the kernel rides to every shard pickled inside the payload; with
+``cache_dir`` set it is persisted through the
+:class:`~repro.store.KernelStore` instead and the payload carries only the
+artifact *path* — each worker process loads the flat arrays once and
+memoizes them across its shards, so wide sweeps stop serializing a kernel
+per task.  Scenario objects and arrays ride to the workers via pickling,
+so custom scenarios must be defined at module top level (the registered
+ones are).
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Sequence
 
@@ -25,27 +31,57 @@ from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.campaign import CampaignResult, run_campaign as _run_serial
 from repro.sim.kernel import ReachabilityKernel
+from repro.sim.seeding import mix_seed as _mix_seed
 
 #: Trials per logical shard.  Small enough that modest campaigns still fan
 #: out, large enough that per-task pickling stays negligible.
 SHARD_TRIALS = 50
 
+#: Per-process kernel memo for path-shipped payloads: worker processes
+#: survive across shards, so each loads a given artifact exactly once.
+_KERNEL_MEMO: dict[str, ReachabilityKernel] = {}
 
-def _mix_seed(seed: int, num_faults: int, shard: int) -> int:
-    """Deterministic, well-spread shard seed (splitmix64 finalizer)."""
-    x = (seed * 0x9E3779B97F4A7C15 + num_faults * 0xBF58476D1CE4E5B9 + shard) % (
-        1 << 64
-    )
-    x ^= x >> 30
-    x = (x * 0xBF58476D1CE4E5B9) % (1 << 64)
-    x ^= x >> 27
-    x = (x * 0x94D049BB133111EB) % (1 << 64)
-    return x ^ (x >> 31)
+
+def _kernel_spec(fpva, backend: str, cache_dir):
+    """The kernel as shipped in shard payloads.
+
+    ``None`` for the legacy backend, the compiled kernel object without a
+    cache, or the persisted artifact's path (a string) with one.
+    """
+    if backend != "kernel":
+        return None
+    if cache_dir is None:
+        return ReachabilityKernel(fpva)
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(cache_dir)
+    if not store.kernels.has(fpva):
+        store.kernels.save(ReachabilityKernel(fpva))
+    return str(store.kernels.path_for(fpva))
+
+
+def _resolve_kernel(fpva, kernel):
+    """Materialize a payload's kernel spec inside the worker.
+
+    Path-shipped kernels are loaded once per process and reused; the
+    memoized kernel's own (unpickled) array object is returned alongside so
+    the simulator's compiled-for-this-array identity check holds across
+    shards that arrived in different payloads.
+    """
+    if not isinstance(kernel, str):
+        return fpva, kernel
+    cached = _KERNEL_MEMO.get(kernel)
+    if cached is None:
+        from repro.store import KernelStore
+
+        cached = _KERNEL_MEMO[kernel] = KernelStore.load_file(fpva, kernel)
+    return cached.fpva, cached
 
 
 def _run_shard(payload) -> CampaignResult:
     (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
      keep_undetected, scenario, backend, kernel) = payload
+    fpva, kernel = _resolve_kernel(fpva, kernel)
     return _run_serial(
         fpva,
         vectors,
@@ -122,9 +158,11 @@ def run_campaign(
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
     backend: str = "kernel",
+    cache_dir: str | os.PathLike | None = None,
 ) -> CampaignResult:
-    """Sharded campaign; result is independent of ``workers``."""
-    kernel = ReachabilityKernel(fpva) if backend == "kernel" else None
+    """Sharded campaign; result is independent of ``workers`` *and* of
+    whether ``cache_dir`` ships the kernel by path or by pickle."""
+    kernel = _kernel_spec(fpva, backend, cache_dir)
     payloads = _shard_payloads(
         fpva,
         vectors,
@@ -158,13 +196,17 @@ def run_sweep(
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
     backend: str = "kernel",
+    cache_dir: str | os.PathLike | None = None,
 ) -> dict[int, CampaignResult]:
     """The paper's k-faults sweep, with all (k, shard) tasks in one pool.
 
     Flattening the sweep before fanning out keeps every worker busy even
-    when individual fault counts have few shards.
+    when individual fault counts have few shards.  Per-(k, shard) streams
+    come from ``mix_seed(seed, k, shard)`` directly — the fault count is
+    mixed in by the finalizer, so no ``seed + k`` arithmetic (whose streams
+    collide across sweeps) ever touches the seed.
     """
-    kernel = ReachabilityKernel(fpva) if backend == "kernel" else None
+    kernel = _kernel_spec(fpva, backend, cache_dir)
     tagged: list[tuple[int, tuple]] = []
     for k in fault_counts:
         for payload in _shard_payloads(
@@ -172,7 +214,7 @@ def run_sweep(
             vectors,
             k,
             trials,
-            seed + k,
+            seed,
             include_control_leaks,
             keep_undetected,
             scenario,

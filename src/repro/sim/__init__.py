@@ -2,7 +2,8 @@
 
 from repro.sim.campaign import CampaignResult, run_campaign, run_sweep, sample_fault_set
 from repro.sim.chip import ChipUnderTest
-from repro.sim.diagnosis import DiagnosisReport, FaultDictionary
+from repro.sim.diagnosis import DiagnosisReport, FaultDictionary, iter_fault_sets
+from repro.sim.seeding import mix_seed
 from repro.sim.faults import (
     ChannelBlocked,
     ControlLeak,
@@ -21,6 +22,7 @@ from repro.sim.kernel import (
     BatchEvaluator,
     CompiledFaultSet,
     ReachabilityKernel,
+    SinkCoverageError,
 )
 from repro.sim.pressure import PressureSimulator
 from repro.sim.tester import Tester, TestRunResult, VectorOutcome
@@ -33,6 +35,8 @@ __all__ = [
     "ChipUnderTest",
     "DiagnosisReport",
     "FaultDictionary",
+    "iter_fault_sets",
+    "mix_seed",
     "ChannelBlocked",
     "ControlLeak",
     "Fault",
@@ -48,6 +52,7 @@ __all__ = [
     "BatchEvaluator",
     "CompiledFaultSet",
     "ReachabilityKernel",
+    "SinkCoverageError",
     "PressureSimulator",
     "Tester",
     "TestRunResult",

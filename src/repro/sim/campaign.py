@@ -16,7 +16,13 @@ from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.chip import ChipUnderTest
 from repro.sim.faults import Fault, fault_universe, faults_compatible
-from repro.sim.kernel import BatchEvaluator, CompiledFaultSet, ReachabilityKernel
+from repro.sim.kernel import (
+    BatchEvaluator,
+    CompiledFaultSet,
+    ReachabilityKernel,
+    SinkCoverageError,
+)
+from repro.sim.seeding import mix_seed
 from repro.sim.tester import Tester
 
 
@@ -96,7 +102,7 @@ def run_campaign(
         evaluator = None
         try:
             evaluator = BatchEvaluator(tester.simulator.kernel, vectors)
-        except ValueError:
+        except SinkCoverageError:
             pass  # partial expectations: fall through to the legacy loop
         if evaluator is not None:
             _run_batched(
@@ -164,7 +170,13 @@ def run_sweep(
     backend: str = "kernel",
     kernel=None,
 ) -> dict[int, CampaignResult]:
-    """The paper's sweep: k = 1..5 faults, ``trials`` chips per k."""
+    """The paper's sweep: k = 1..5 faults, ``trials`` chips per k.
+
+    Each fault count draws from its own RNG stream seeded by
+    ``mix_seed(seed, k)`` — never by naive ``seed + k`` arithmetic, whose
+    streams collide across sweeps (``(seed=0, k=2)`` and ``(seed=1, k=1)``
+    would inject identical chips).
+    """
     if backend == "kernel" and kernel is None:
         kernel = ReachabilityKernel(fpva)  # compile once for every k
     return {
@@ -173,7 +185,7 @@ def run_sweep(
             vectors,
             num_faults=k,
             trials=trials,
-            seed=seed + k,
+            seed=mix_seed(seed, k),
             include_control_leaks=include_control_leaks,
             scenario=scenario,
             backend=backend,

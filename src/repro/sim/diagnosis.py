@@ -18,23 +18,68 @@ per machine word), and assembles syndromes from the shared slot table.
 The ``legacy`` backend retains the original one-chip-at-a-time loop; both
 produce identical tables (asserted by the equivalence property test and
 ``benchmarks/bench_kernel.py``).
+
+Construction also **streams**: fault sets are enumerated lazily
+(:func:`iter_fault_sets`) and evaluated in bounded-size chunks, so the
+double-fault universe is never materialized as one list, and — when a
+:class:`~repro.store.ArtifactStore` is supplied — each chunk of detected
+sets is appended to the on-disk artifact as it is produced.  A later
+construction over the same (layout, suite, universe, cardinality) then
+**warm-starts**: the syndrome table is loaded from the store with no
+simulation at all, which is what makes 10x10-and-up double-fault
+dictionaries practical for repeated serving.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.sim.chip import ChipUnderTest
 from repro.sim.faults import Fault, fault_universe, faults_compatible
-from repro.sim.kernel import BatchEvaluator, CompiledFaultSet
+from repro.sim.kernel import (
+    BatchEvaluator,
+    CompiledFaultSet,
+    ReachabilityKernel,
+    SinkCoverageError,
+)
 from repro.sim.tester import Tester, TestRunResult
 
 Syndrome = tuple
+
+#: Fault sets simulated (and, with a store, persisted) per streaming chunk.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+def iter_fault_sets(
+    universe: Sequence[Fault], max_cardinality: int
+) -> Iterator[tuple[Fault, ...]]:
+    """Lazily enumerate every diagnosable fault set of the universe.
+
+    Singles first, then compatible pairs in :func:`itertools.combinations`
+    order — the exact order the eager builds used, but never materialized
+    as a list (the double-fault universe grows quadratically).
+    """
+    for f in universe:
+        yield (f,)
+    if max_cardinality == 2:
+        for pair in itertools.combinations(universe, 2):
+            if faults_compatible(pair):
+                yield pair
+
+
+def _iter_chunks(iterable: Iterable, size: int) -> Iterator[list]:
+    it = iter(iterable)
+    while True:
+        chunk = list(itertools.islice(it, size))
+        if not chunk:
+            return
+        yield chunk
 
 
 @dataclass
@@ -54,7 +99,16 @@ class DiagnosisReport:
 
 
 class FaultDictionary:
-    """Precomputed syndrome → fault-set dictionary."""
+    """Precomputed syndrome → fault-set dictionary.
+
+    ``kernel`` optionally supplies a pre-compiled
+    :class:`~repro.sim.kernel.ReachabilityKernel` so diagnosis callers that
+    already hold one stop recompiling per dictionary; without it the kernel
+    is compiled lazily, on first need — a ``backend="legacy"`` build never
+    pays for one.  ``store`` (an :class:`~repro.store.ArtifactStore` or a
+    cache-directory path) enables the warm-start/streaming persistence
+    described in the module docstring.
+    """
 
     def __init__(
         self,
@@ -64,72 +118,155 @@ class FaultDictionary:
         max_cardinality: int = 1,
         universe: Sequence[Fault] | None = None,
         backend: str = "kernel",
+        kernel: ReachabilityKernel | None = None,
+        store=None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ):
         if max_cardinality not in (1, 2):
             raise ValueError("dictionary supports single and double faults")
         if backend not in ("kernel", "legacy"):
             raise ValueError(f"unknown dictionary backend {backend!r}")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        from repro.store import as_store  # late: store sits above sim
+
         self.fpva = fpva
         self.vectors = list(vectors)
-        self.tester = Tester(fpva)
+        self.backend = backend
+        self.max_cardinality = max_cardinality
+        self.chunk_size = chunk_size
+        self._kernel = kernel
+        self._tester: Tester | None = None
         self._table: dict[Syndrome, list[tuple[Fault, ...]]] = defaultdict(list)
 
         if universe is None:
             universe = fault_universe(
                 fpva, include_control_leaks=include_control_leaks
             )
-        fault_sets: list[tuple[Fault, ...]] = [(f,) for f in universe]
-        if max_cardinality == 2:
-            fault_sets.extend(
-                pair
-                for pair in itertools.combinations(universe, 2)
-                if faults_compatible(pair)
+        self.universe: list[Fault] = list(universe)
+
+        self.store = as_store(store)
+        self.digest: str | None = None
+        #: True when the table came off disk instead of being simulated.
+        self.warm_loaded = False
+        if self.store is not None:
+            from repro.store import dictionary_digest
+
+            self.digest = dictionary_digest(
+                fpva, self.vectors, self.universe, max_cardinality
             )
-        if backend == "kernel":
-            self._build_batched(fault_sets)
-        else:
-            self._build_legacy(fault_sets)
+            if self.store.dictionaries.has(self.digest):
+                self._table = self.store.dictionaries.load(
+                    self.digest, self.universe
+                )
+                self.warm_loaded = True
+                return
+        self._build()
 
     # -- construction ------------------------------------------------------
-    def _build_legacy(self, fault_sets: Sequence[tuple[Fault, ...]]) -> None:
+    def _build(self) -> None:
+        fault_sets = iter_fault_sets(self.universe, self.max_cardinality)
+        writer = None
+        if self.store is not None:
+            writer = self.store.dictionaries.writer(
+                self.digest,
+                self.max_cardinality,
+                meta={
+                    "array": self.fpva.name,
+                    "vectors": len(self.vectors),
+                    "universe_size": len(self.universe),
+                },
+            )
+            self._fault_pos = {f: i for i, f in enumerate(self.universe)}
+        try:
+            if self.backend == "kernel":
+                self._build_batched(fault_sets, writer)
+            else:
+                self._build_legacy(fault_sets, writer)
+            if writer is not None:
+                writer.commit()
+        finally:
+            if writer is not None:
+                writer.abort()
+
+    def _record(
+        self, faults: tuple[Fault, ...], syndrome: Syndrome, writer
+    ) -> None:
+        self._table[syndrome].append(faults)
+        if writer is not None:
+            writer.add([self._fault_pos[f] for f in faults], syndrome)
+
+    def _build_legacy(
+        self, fault_sets: Iterable[tuple[Fault, ...]], writer=None
+    ) -> None:
         """One full-suite simulation per fault set through the pure-Python
         object-graph engine (the pre-kernel reference path)."""
         tester = Tester(self.fpva, engine="object")
         for faults in fault_sets:
             syndrome = self._syndrome_of(faults, tester=tester)
             if syndrome:  # undetectable sets cannot be diagnosed
-                self._table[syndrome].append(faults)
+                self._record(faults, syndrome, writer)
 
-    def _build_batched(self, fault_sets: Sequence[tuple[Fault, ...]]) -> None:
-        """Canonicalize by effective state, simulate distinct states once."""
-        kernel = self.tester.simulator.kernel
+    def _build_batched(
+        self, fault_sets: Iterable[tuple[Fault, ...]], writer=None
+    ) -> None:
+        """Canonicalize by effective state, simulate distinct states once.
+
+        Streams: each chunk of fault sets is compiled, deduplicated,
+        simulated and folded into the table (and the store, when present)
+        before the next chunk is enumerated, so peak memory is bounded by
+        the chunk size plus the *distinct* scenario pool — never by the
+        quadratic fault-set universe.
+        """
+        kernel = self._require_kernel()
         try:
             evaluator = BatchEvaluator(kernel, self.vectors)
-        except ValueError:
+        except SinkCoverageError as exc:
             # Vectors whose expectations do not cover the array's sinks
             # cannot be compared row-wise; fall back to the reference path.
-            self._build_legacy(fault_sets)
+            warnings.warn(
+                f"batched dictionary build unavailable ({exc}); falling "
+                f"back to the one-chip-at-a-time legacy engine",
+                stacklevel=2,
+            )
+            self._build_legacy(fault_sets, writer)
             return
         fires_cache: dict = {}
-        slot_rows = [
-            evaluator.slot_row(CompiledFaultSet(kernel, faults, fires_cache))
-            for faults in fault_sets
-        ]
-        evaluator.flush()
-
         names = [v.name for v in self.vectors]
         syndrome_cache: dict[tuple[int, ...], Syndrome] = {}
-        for faults, row in zip(fault_sets, slot_rows):
-            syndrome = syndrome_cache.get(row)
-            if syndrome is None:
-                syndrome = tuple(
-                    (names[vi], evaluator.observed_items(slot))
-                    for vi, slot in enumerate(row)
-                    if not evaluator.passed(vi, slot)
-                )
-                syndrome_cache[row] = syndrome
-            if syndrome:  # undetectable sets cannot be diagnosed
-                self._table[syndrome].append(faults)
+        for chunk in _iter_chunks(fault_sets, self.chunk_size):
+            slot_rows = [
+                evaluator.slot_row(CompiledFaultSet(kernel, faults, fires_cache))
+                for faults in chunk
+            ]
+            evaluator.flush()
+            for faults, row in zip(chunk, slot_rows):
+                syndrome = syndrome_cache.get(row)
+                if syndrome is None:
+                    syndrome = tuple(
+                        (names[vi], evaluator.observed_items(slot))
+                        for vi, slot in enumerate(row)
+                        if not evaluator.passed(vi, slot)
+                    )
+                    syndrome_cache[row] = syndrome
+                if syndrome:  # undetectable sets cannot be diagnosed
+                    self._record(faults, syndrome, writer)
+
+    def _require_kernel(self) -> ReachabilityKernel:
+        """The compiled kernel, built (or warm-loaded) on first need."""
+        if self._kernel is None:
+            if self.store is not None:
+                self._kernel = self.store.kernels.get_or_compile(self.fpva)
+            else:
+                self._kernel = ReachabilityKernel(self.fpva)
+        return self._kernel
+
+    @property
+    def tester(self) -> Tester:
+        """The kernel-engine tester, constructed lazily on first use."""
+        if self._tester is None:
+            self._tester = Tester(self.fpva, kernel=self._require_kernel())
+        return self._tester
 
     def _syndrome_of(
         self, faults: tuple[Fault, ...], tester: Tester | None = None
@@ -140,6 +277,11 @@ class FaultDictionary:
     @property
     def distinct_syndromes(self) -> int:
         return len(self._table)
+
+    @property
+    def total_fault_sets(self) -> int:
+        """Detectable fault sets across every syndrome class."""
+        return sum(len(sets) for sets in self._table.values())
 
     def syndrome_classes(self) -> list[tuple[Syndrome, list[tuple[Fault, ...]]]]:
         """Every (syndrome, candidate fault sets) equivalence class.

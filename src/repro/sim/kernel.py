@@ -57,6 +57,17 @@ _FULL_WORD = ~np.uint64(0)
 _WORD_SHIFTS = np.arange(64, dtype=np.uint64)
 
 
+class SinkCoverageError(ValueError):
+    """A vector's expected readings do not cover exactly the array's sinks.
+
+    Raised by :class:`BatchEvaluator` at construction: row-wise verdict
+    comparison needs every vector to predict every meter.  Callers that can
+    fall back to the one-chip-at-a-time engine catch *this* exception —
+    never bare ``ValueError``, which would also swallow real defects such
+    as faults on non-existent valves.
+    """
+
+
 def _pack_words(bools: np.ndarray) -> np.ndarray:
     """Pack a ``(B, K)`` bool matrix into ``(K, W)`` uint64 scenario words.
 
@@ -87,20 +98,7 @@ class ReachabilityKernel:
     """
 
     def __init__(self, fpva: FPVA):
-        self.fpva = fpva
-        self.nodes: tuple = tuple(fpva.cells()) + tuple(fpva.ports)
-        index = {node: i for i, node in enumerate(self.nodes)}
-        self.n_nodes = len(self.nodes)
-
-        #: Edge → bit position maps for building scenario masks.
-        self.valve_index: dict[Edge, int] = {
-            v: i for i, v in enumerate(fpva.valves)
-        }
-        self.edge_index: dict[Edge, int] = {
-            e: i for i, e in enumerate(fpva.flow_edges)
-        }
-        self.n_valves = len(self.valve_index)
-        self.n_edges = len(self.edge_index)
+        index = self._init_topology(fpva)
 
         # Every arc twice (undirected graph): (src, dst, valve id, edge id);
         # valve -1 marks always-open connections, edge -1 port openings
@@ -117,7 +115,49 @@ class ReachabilityKernel:
             arcs.append((p, c, -1, -1))
             arcs.append((c, p, -1, -1))
         arcs.sort(key=lambda a: a[1])  # destination-major for reduceat
+        self._install_arcs(arcs)
 
+    def _init_topology(self, fpva: FPVA) -> dict:
+        """Derive the cheap node/valve/port maps from the array.
+
+        Shared by the compiling constructor and :meth:`from_arrays`: only
+        the arc tables are worth persisting, everything here is linear-time
+        dictionary building.  Returns the node index map for arc assembly.
+        """
+        self.fpva = fpva
+        self.nodes: tuple = tuple(fpva.cells()) + tuple(fpva.ports)
+        index = {node: i for i, node in enumerate(self.nodes)}
+        self.n_nodes = len(self.nodes)
+
+        #: Edge → bit position maps for building scenario masks.
+        self.valve_index: dict[Edge, int] = {
+            v: i for i, v in enumerate(fpva.valves)
+        }
+        self.edge_index: dict[Edge, int] = {
+            e: i for i, e in enumerate(fpva.flow_edges)
+        }
+        self.n_valves = len(self.valve_index)
+        self.n_edges = len(self.edge_index)
+
+        # Precomputed single-bit ints: valve_mask/edge_mask OR these instead
+        # of shifting per element (hot on dense cut-set open sets).
+        self._valve_bits = tuple(1 << i for i in range(self.n_valves))
+        self._edge_bits = tuple(1 << i for i in range(self.n_edges))
+
+        self._source_idx = tuple(index[p] for p in fpva.sources)
+        self.sink_names: tuple[str, ...] = tuple(p.name for p in fpva.sinks)
+        self._sink_rows = np.array(
+            [index[p] for p in fpva.sinks], dtype=np.intp
+        )
+        sink_pos = [-1] * self.n_nodes
+        for j, p in enumerate(fpva.sinks):
+            sink_pos[index[p]] = j
+        self._sink_pos = tuple(sink_pos)
+        self.n_sinks = len(self.sink_names)
+        return index
+
+    def _install_arcs(self, arcs: Sequence[tuple[int, int, int, int]]) -> None:
+        """Install a destination-sorted arc table and its derived views."""
         self._arc_src = np.array([a[0] for a in arcs], dtype=np.intp)
         arc_dst = np.array([a[1] for a in arcs], dtype=np.intp)
         self._arc_valve = np.array([a[2] for a in arcs], dtype=np.int64)
@@ -136,21 +176,52 @@ class ReachabilityKernel:
             out[u].append((w, vi, ei))
         self._out = tuple(tuple(lst) for lst in out)
 
-        # Precomputed single-bit ints: valve_mask/edge_mask OR these instead
-        # of shifting per element (hot on dense cut-set open sets).
-        self._valve_bits = tuple(1 << i for i in range(self.n_valves))
-        self._edge_bits = tuple(1 << i for i in range(self.n_edges))
+    # -- persistence -------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The compiled arc table as flat arrays (the persisted artifact).
 
-        self._source_idx = tuple(index[p] for p in fpva.sources)
-        self.sink_names: tuple[str, ...] = tuple(p.name for p in fpva.sinks)
-        self._sink_rows = np.array(
-            [index[p] for p in fpva.sinks], dtype=np.intp
-        )
-        sink_pos = [-1] * self.n_nodes
-        for j, p in enumerate(fpva.sinks):
-            sink_pos[index[p]] = j
-        self._sink_pos = tuple(sink_pos)
-        self.n_sinks = len(self.sink_names)
+        Everything else the kernel carries is rebuilt from the array object
+        in linear time by :meth:`from_arrays`; only the destination-sorted
+        CSR arc table embodies actual compilation work.
+        """
+        counts = np.diff(np.r_[self._dst_starts, len(self._arc_src)])
+        return {
+            "arc_src": np.asarray(self._arc_src, dtype=np.int64),
+            "arc_dst": np.repeat(self._dst_nodes, counts).astype(np.int64),
+            "arc_valve": self._arc_valve,
+            "arc_edge": self._arc_edge,
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, fpva: FPVA, arrays: dict[str, np.ndarray]
+    ) -> "ReachabilityKernel":
+        """Rebuild a kernel from :meth:`to_arrays` output without compiling.
+
+        The arc table is installed verbatim (it is already destination
+        sorted), so the reconstructed kernel's arrays — and therefore every
+        reading it produces — are identical to the compiled original.
+        """
+        self = cls.__new__(cls)
+        self._init_topology(fpva)
+        src = np.asarray(arrays["arc_src"]).tolist()
+        dst = np.asarray(arrays["arc_dst"]).tolist()
+        valve = np.asarray(arrays["arc_valve"]).tolist()
+        edge = np.asarray(arrays["arc_edge"]).tolist()
+        if not (len(src) == len(dst) == len(valve) == len(edge)):
+            raise ValueError("inconsistent kernel arc arrays")
+        if any(b < a for a, b in zip(dst, dst[1:])):
+            raise ValueError(
+                "kernel arc table is not destination-sorted (corrupt artifact)"
+            )
+        arcs = list(zip(src, dst, valve, edge))
+        for u, w, vi, ei in arcs:
+            if not (0 <= u < self.n_nodes and 0 <= w < self.n_nodes):
+                raise ValueError("kernel arc references a non-existent node")
+            if not (-1 <= vi < self.n_valves and -1 <= ei < self.n_edges):
+                raise ValueError("kernel arc references a non-existent edge")
+        self._install_arcs(arcs)
+        return self
 
     # -- mask construction -------------------------------------------------
     def valve_mask(self, open_valves: Iterable[Edge]) -> int:
@@ -435,9 +506,10 @@ class BatchEvaluator:
 
     Each distinct ``(open, blocked)`` mask pair is assigned a *slot* and
     simulated exactly once; consumers record slot rows per fault set, call
-    :meth:`flush`, then read verdicts back.  Raises ``ValueError`` at
-    construction when a vector's expected readings do not cover exactly the
-    array's sinks (callers fall back to the legacy path).
+    :meth:`flush`, then read verdicts back.  Raises
+    :class:`SinkCoverageError` at construction when a vector's expected
+    readings do not cover exactly the array's sinks (callers fall back to
+    the legacy path).
     """
 
     def __init__(self, kernel: ReachabilityKernel, vectors: Sequence[TestVector]):
@@ -447,7 +519,7 @@ class BatchEvaluator:
         sink_set = set(kernel.sink_names)
         for v in self.vectors:
             if set(v.expected.keys()) != sink_set:
-                raise ValueError(
+                raise SinkCoverageError(
                     f"vector {v.name!r} expectations do not match the "
                     f"array's sinks; batched evaluation unavailable"
                 )

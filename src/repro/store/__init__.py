@@ -1,0 +1,72 @@
+"""Persistent compiled-artifact store: warm starts for heavy workloads.
+
+Every layer above the simulator compiles something expensive and
+deterministic — the reachability kernel's arc table, the fault
+dictionary's syndrome table — and before this subsystem existed each
+invocation rebuilt them from scratch, which capped dictionary-backed
+diagnosis at 8x8.  The store persists those artifacts on disk,
+content-addressed by a stable digest of what they were compiled from
+(:mod:`repro.store.digest`), so repeated traffic pays the build once:
+
+* :class:`KernelStore` — one ``.npz`` of flat CSR arrays per array
+  structure (:mod:`repro.store.kernels`);
+* :class:`DictionaryStore` — chunked syndrome tables that a streaming
+  :class:`~repro.sim.diagnosis.FaultDictionary` build appends to in
+  bounded memory (:mod:`repro.store.dictionaries`);
+* :class:`ArtifactStore` — the facade bundling both under one cache
+  directory (the CLI's ``--cache-dir``).
+
+Cache invalidation is purely by content addressing: any change to the
+layout, vector suite, fault universe or cardinality produces a new digest
+and therefore a cold build; stale entries are never reinterpreted.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.store.dictionaries import DictionaryStore, DictionaryWriter
+from repro.store.digest import (
+    STORE_FORMAT_VERSION,
+    dictionary_digest,
+    fault_key,
+    kernel_digest,
+    layout_key,
+    vector_key,
+)
+from repro.store.kernels import KernelStore
+
+
+class ArtifactStore:
+    """One cache directory holding every artifact family."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.kernels = KernelStore(self.root / "kernels")
+        self.dictionaries = DictionaryStore(self.root / "dictionaries")
+
+    def __repr__(self):
+        return f"ArtifactStore({str(self.root)!r})"
+
+
+def as_store(store) -> ArtifactStore | None:
+    """Coerce ``None`` / path-like / :class:`ArtifactStore` to a store."""
+    if store is None or isinstance(store, ArtifactStore):
+        return store
+    return ArtifactStore(store)
+
+
+__all__ = [
+    "ArtifactStore",
+    "DictionaryStore",
+    "DictionaryWriter",
+    "KernelStore",
+    "STORE_FORMAT_VERSION",
+    "as_store",
+    "dictionary_digest",
+    "fault_key",
+    "kernel_digest",
+    "layout_key",
+    "vector_key",
+]

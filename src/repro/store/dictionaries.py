@@ -1,0 +1,259 @@
+"""Chunked on-disk persistence for fault-dictionary syndrome tables.
+
+A dictionary artifact is a content-addressed directory::
+
+    <root>/<digest>/
+        chunk-00000.npz   # sets: (N, cardinality) int32 universe indices
+        chunk-00001.npz   #       (-1 padded); syndromes: (N,) int32 ids
+        ...
+        syndromes.json    # interned syndrome table, in first-seen order
+        meta.json         # counts + format version; written LAST
+
+Fault sets are stored as indices into the build's ordered fault universe
+(the digest covers the universe, so indices are unambiguous), and each
+detected set carries the id of its syndrome — full syndromes are stored
+once, not per fault set, which keeps 10x10-and-up double-fault tables to
+a few int32s per entry.  The syndrome table itself is interned the same
+way: vector names once in a header, each failing vector's meter readout
+as a bitmask over the (sorted) sink names, so a syndrome serializes as
+``[[vector_id, readout_mask], ...]`` — warm loads spend their time
+parsing integers, not re-reading thousands of repeated port-name strings.
+
+The writer appends chunks as a **streaming** build produces them, so the
+producer never holds more than one chunk of encoded rows; ``meta.json``
+doubles as the completeness marker (it is written last, inside a temp
+directory that is atomically renamed into place), so a crashed build
+leaves nothing addressable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from collections import defaultdict
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.store.digest import STORE_FORMAT_VERSION
+
+#: Encoded rows buffered before a chunk file is flushed to disk.
+CHUNK_ROWS = 16384
+
+
+def encode_syndromes(syndromes) -> dict:
+    """Syndrome tuples → the interned JSON payload (see module docstring)."""
+    vector_ids: dict[str, int] = {}
+    sinks: tuple[str, ...] | None = None
+    encoded = []
+    for syndrome in syndromes:
+        entries = []
+        for name, items in syndrome:
+            vi = vector_ids.setdefault(name, len(vector_ids))
+            names = tuple(sink for sink, _ in items)
+            if sinks is None:
+                sinks = names
+            elif names != sinks:
+                raise ValueError(
+                    f"inconsistent sink signature in syndromes: "
+                    f"{names} vs {sinks}"
+                )
+            mask = 0
+            for j, (_, val) in enumerate(items):
+                if val:
+                    mask |= 1 << j
+            entries.append([vi, mask])
+        encoded.append(entries)
+    return {
+        "vectors": list(vector_ids),
+        "sinks": list(sinks or ()),
+        "syndromes": encoded,
+    }
+
+
+def decode_syndromes(payload: dict) -> list[tuple]:
+    """Inverse of :func:`encode_syndromes` — bit-identical tuples back.
+
+    Repeated ``(vector, readout)`` pairs and readout item tuples are
+    interned while decoding, so cost scales with *distinct* failures, not
+    with table size.
+    """
+    vectors = payload["vectors"]
+    sinks = payload["sinks"]
+    items_cache: dict[int, tuple] = {}
+    pair_cache: dict[tuple[int, int], tuple] = {}
+    syndromes = []
+    for entries in payload["syndromes"]:
+        decoded = []
+        for vi, mask in entries:
+            key = (vi, mask)
+            pair = pair_cache.get(key)
+            if pair is None:
+                items = items_cache.get(mask)
+                if items is None:
+                    items = items_cache[mask] = tuple(
+                        (sink, bool((mask >> j) & 1))
+                        for j, sink in enumerate(sinks)
+                    )
+                pair = pair_cache[key] = (vectors[vi], items)
+            decoded.append(pair)
+        syndromes.append(tuple(decoded))
+    return syndromes
+
+
+class DictionaryWriter:
+    """Streaming appender for one dictionary artifact.
+
+    Builds into ``<digest>.tmp-<pid>`` and renames to ``<digest>`` on
+    :meth:`commit`; :meth:`abort` (idempotent, safe after commit) discards
+    the temp directory, so ``try/finally: writer.abort()`` around a build
+    yields all-or-nothing persistence.
+    """
+
+    def __init__(self, directory: Path, cardinality: int, meta: dict):
+        self._final = directory
+        self._tmp = directory.with_name(
+            f"{directory.name}.tmp-{os.getpid()}"
+        )
+        if self._tmp.exists():
+            shutil.rmtree(self._tmp)
+        self._tmp.mkdir(parents=True)
+        self._cardinality = cardinality
+        self._meta = dict(meta)
+        self._syndrome_ids: dict = {}
+        self._rows: list[tuple[int, ...]] = []
+        self._row_syndromes: list[int] = []
+        self._chunks = 0
+        self._total = 0
+        self._committed = False
+
+    def add(self, indices: Sequence[int], syndrome) -> None:
+        """Record one detected fault set (universe indices) + its syndrome."""
+        ids = self._syndrome_ids
+        sid = ids.get(syndrome)
+        if sid is None:
+            sid = ids[syndrome] = len(ids)
+        pad = self._cardinality - len(indices)
+        self._rows.append(tuple(indices) + (-1,) * pad)
+        self._row_syndromes.append(sid)
+        if len(self._rows) >= CHUNK_ROWS:
+            self._flush_chunk()
+
+    def _flush_chunk(self) -> None:
+        if not self._rows:
+            return
+        path = self._tmp / f"chunk-{self._chunks:05d}.npz"
+        with open(path, "wb") as fh:
+            np.savez(
+                fh,
+                sets=np.array(self._rows, dtype=np.int32),
+                syndromes=np.array(self._row_syndromes, dtype=np.int32),
+            )
+        self._total += len(self._rows)
+        self._rows = []
+        self._row_syndromes = []
+        self._chunks += 1
+
+    def commit(self) -> Path:
+        """Flush, write the syndrome table and metadata, publish atomically."""
+        self._flush_chunk()
+        # Insertion order == id order, so the dict iterates id-sorted.
+        with open(self._tmp / "syndromes.json", "w") as fh:
+            json.dump(
+                encode_syndromes(self._syndrome_ids), fh, separators=(",", ":")
+            )
+        meta = {
+            **self._meta,
+            "version": STORE_FORMAT_VERSION,
+            "cardinality": self._cardinality,
+            "chunks": self._chunks,
+            "fault_sets": self._total,
+            "distinct_syndromes": len(self._syndrome_ids),
+        }
+        with open(self._tmp / "meta.json", "w") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+        try:
+            os.replace(self._tmp, self._final)
+        except OSError:
+            # A concurrent build won the publish race (the rename target
+            # exists and is non-empty); its artifact is identical by
+            # content addressing, so keep it and discard ours.
+            if not (self._final / "meta.json").exists():
+                raise
+            shutil.rmtree(self._tmp)
+        self._committed = True
+        return self._final
+
+    def abort(self) -> None:
+        """Discard the temp directory (no-op after a successful commit)."""
+        if not self._committed and self._tmp.exists():
+            shutil.rmtree(self._tmp)
+
+
+class DictionaryStore:
+    """Content-addressed store of chunked syndrome tables."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest
+
+    def has(self, digest: str) -> bool:
+        """Only *complete* artifacts count (``meta.json`` is written last)."""
+        return (self.path_for(digest) / "meta.json").exists()
+
+    def meta(self, digest: str) -> dict:
+        with open(self.path_for(digest) / "meta.json") as fh:
+            return json.load(fh)
+
+    def writer(
+        self, digest: str, cardinality: int, meta: dict | None = None
+    ) -> DictionaryWriter:
+        self.root.mkdir(parents=True, exist_ok=True)
+        return DictionaryWriter(
+            self.path_for(digest), cardinality, meta or {}
+        )
+
+    def load(self, digest: str, universe: Sequence) -> dict:
+        """Materialize the syndrome table against the build's universe.
+
+        Iterates chunks in append order, so syndromes first-seen order and
+        per-syndrome candidate order — and therefore every downstream
+        ``DiagnosisReport`` — are bit-identical to the cold build's.
+        """
+        directory = self.path_for(digest)
+        meta = self.meta(digest)
+        if meta["version"] != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"dictionary artifact {directory} has an unsupported version"
+            )
+        if meta["universe_size"] != len(universe):
+            raise ValueError(
+                f"dictionary artifact {directory} was built against a "
+                f"{meta['universe_size']}-fault universe, got {len(universe)}"
+            )
+        with open(directory / "syndromes.json") as fh:
+            syndromes = decode_syndromes(json.load(fh))
+        # Table keys are created in syndrome-id (= first-seen) order, and
+        # each row appends through a pre-resolved bucket reference — the
+        # nested syndrome tuples are hashed once per *syndrome*, never per
+        # fault set, which is what keeps warm loads 20x+ under cold builds.
+        table: dict = defaultdict(list)
+        buckets = [table[syndrome] for syndrome in syndromes]
+        faults = list(universe)
+        for chunk in range(meta["chunks"]):
+            with np.load(directory / f"chunk-{chunk:05d}.npz") as data:
+                rows = data["sets"].tolist()
+                sids = data["syndromes"].tolist()
+            if meta["cardinality"] == 1:
+                for row, sid in zip(rows, sids):
+                    buckets[sid].append((faults[row[0]],))
+            else:
+                for (i, j), sid in zip(rows, sids):
+                    buckets[sid].append(
+                        (faults[i], faults[j]) if j >= 0 else (faults[i],)
+                    )
+        return table

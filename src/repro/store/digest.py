@@ -1,0 +1,121 @@
+"""Stable content digests for compiled artifacts.
+
+Cached artifacts are keyed by what they were compiled *from*, never by
+where or when: a kernel by the array's structure, a dictionary by the
+(array, vector suite, fault universe, cardinality) quadruple — the
+scenario is captured through the ordered universe it induces.  Two
+processes that describe the same workload therefore address the same
+cache entry, and any change to layout, suite, universe contents/order or
+cardinality changes the digest, which is the entire invalidation story:
+stale entries are never overwritten, they are simply never addressed
+again.
+
+Encodings are canonical nested tuples of primitives serialized as compact
+JSON and hashed with BLAKE2b.  The array's *display name* is deliberately
+excluded from the layout key (two identically-shaped arrays with
+different labels share artifacts); port names are included because meter
+readings — and therefore syndromes — are keyed by them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Sequence
+
+from repro.core.vectors import TestVector
+from repro.fpva.array import FPVA
+from repro.fpva.geometry import Edge
+from repro.sim.faults import (
+    ChannelBlocked,
+    ControlLeak,
+    Fault,
+    IntermittentStuckAt,
+    StuckAt0,
+    StuckAt1,
+)
+
+#: Bump when any persisted format or canonical encoding changes shape;
+#: old cache entries then stop being addressed (never reinterpreted).
+STORE_FORMAT_VERSION = 1
+
+
+def _edge_key(edge: Edge) -> tuple[int, int, int, int]:
+    return (edge.a.r, edge.a.c, edge.b.r, edge.b.c)
+
+
+def layout_key(fpva: FPVA) -> tuple:
+    """Canonical structural identity of an array (name excluded)."""
+    return (
+        fpva.nr,
+        fpva.nc,
+        tuple(sorted((c.r, c.c) for c in fpva.obstacles)),
+        tuple(sorted(_edge_key(e) for e in fpva.channels)),
+        tuple(
+            (p.kind.value, p.side.value, p.index, p.name) for p in fpva.ports
+        ),
+    )
+
+
+def vector_key(vector: TestVector) -> tuple:
+    """Canonical identity of one test vector (provenance excluded)."""
+    return (
+        vector.name,
+        vector.kind.value,
+        tuple(sorted(_edge_key(e) for e in vector.open_valves)),
+        tuple(sorted((name, bool(v)) for name, v in vector.expected.items())),
+    )
+
+
+def fault_key(fault: Fault) -> tuple:
+    """Canonical identity of one fault hypothesis."""
+    if isinstance(fault, StuckAt0):
+        return ("sa0", _edge_key(fault.valve))
+    if isinstance(fault, StuckAt1):
+        return ("sa1", _edge_key(fault.valve))
+    if isinstance(fault, ControlLeak):
+        return ("leak", _edge_key(fault.a), _edge_key(fault.b))
+    if isinstance(fault, IntermittentStuckAt):
+        return (
+            "flaky",
+            _edge_key(fault.valve),
+            bool(fault.stuck_open),
+            float(fault.rate),
+            int(fault.salt),
+        )
+    if isinstance(fault, ChannelBlocked):
+        return ("blocked", _edge_key(fault.edge))
+    raise TypeError(f"unknown fault kind {fault!r}")
+
+
+def digest_of(*parts) -> str:
+    """BLAKE2b hex digest of canonically JSON-serialized parts."""
+    payload = json.dumps(parts, separators=(",", ":"), sort_keys=True)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+
+def kernel_digest(fpva: FPVA) -> str:
+    """Cache key of a compiled :class:`ReachabilityKernel`."""
+    return digest_of("kernel", STORE_FORMAT_VERSION, layout_key(fpva))
+
+
+def dictionary_digest(
+    fpva: FPVA,
+    vectors: Sequence[TestVector],
+    universe: Iterable[Fault],
+    max_cardinality: int,
+) -> str:
+    """Cache key of a :class:`FaultDictionary` syndrome table.
+
+    The universe is hashed *in order* because stored fault sets are
+    encoded as universe indices — a reordered universe is a different
+    artifact even when its contents coincide.
+    """
+    return digest_of(
+        "dictionary",
+        STORE_FORMAT_VERSION,
+        layout_key(fpva),
+        [vector_key(v) for v in vectors],
+        [fault_key(f) for f in universe],
+        int(max_cardinality),
+    )

@@ -1,0 +1,78 @@
+"""On-disk persistence for compiled reachability kernels.
+
+One ``.npz`` per array, content-addressed by :func:`kernel_digest`, holding
+the destination-sorted CSR arc table (:meth:`ReachabilityKernel.to_arrays`).
+Loading installs the arrays verbatim — no graph walk, no sort — so a warm
+kernel is bit-identical to a cold compile, and the sharded campaign runner
+can ship a *path* to worker processes instead of a pickled kernel per
+shard payload.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed build never
+leaves a half-written artifact addressable.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.fpva.array import FPVA
+from repro.sim.kernel import ReachabilityKernel
+from repro.store.digest import STORE_FORMAT_VERSION, kernel_digest
+
+
+class KernelStore:
+    """Content-addressed ``.npz`` store of compiled kernel arc tables."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path_for(self, fpva: FPVA) -> Path:
+        return self.root / f"{kernel_digest(fpva)}.npz"
+
+    def has(self, fpva: FPVA) -> bool:
+        return self.path_for(fpva).exists()
+
+    def save(self, kernel: ReachabilityKernel) -> Path:
+        """Persist a compiled kernel; returns the artifact path."""
+        path = self.path_for(kernel.fpva)
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        arrays = kernel.to_arrays()
+        arrays["version"] = np.array([STORE_FORMAT_VERSION], dtype=np.int64)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path cleanup
+                tmp.unlink()
+        return path
+
+    @staticmethod
+    def load_file(fpva: FPVA, path: str | os.PathLike) -> ReachabilityKernel:
+        """Rebuild a kernel for ``fpva`` from a stored arc table."""
+        with np.load(path) as data:
+            if int(data["version"][0]) != STORE_FORMAT_VERSION:
+                raise ValueError(
+                    f"kernel artifact {path} has an unsupported format version"
+                )
+            arrays = {k: data[k] for k in ("arc_src", "arc_dst", "arc_valve", "arc_edge")}
+        return ReachabilityKernel.from_arrays(fpva, arrays)
+
+    def load(self, fpva: FPVA) -> ReachabilityKernel | None:
+        """The stored kernel for ``fpva``, or ``None`` on a cache miss."""
+        path = self.path_for(fpva)
+        if not path.exists():
+            return None
+        return self.load_file(fpva, path)
+
+    def get_or_compile(self, fpva: FPVA) -> ReachabilityKernel:
+        """Warm-load the kernel, compiling and persisting on first use."""
+        kernel = self.load(fpva)
+        if kernel is None:
+            kernel = ReachabilityKernel(fpva)
+            self.save(kernel)
+        return kernel

@@ -45,3 +45,28 @@ class TestCommands:
         )
         assert code == 0
         assert "100.00%" in capsys.readouterr().out
+
+    def test_warm_then_cached_diagnose_and_campaign(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        base = ["--size", "3", "--full", "--cache-dir", cache]
+        assert main(["warm", *base]) == 0
+        assert "cold" in capsys.readouterr().out
+        assert main(["warm", *base]) == 0
+        assert "warm" in capsys.readouterr().out
+        assert main(["diagnose", *base, "--trials", "2", "--adaptive",
+                     "--scenario", "stuck-at"]) == 0
+        assert "warm-loaded" in capsys.readouterr().out
+        # Cardinality participates in the digest: a card-2 warm is hit
+        # only by a card-2 diagnose.
+        assert main(["warm", *base, "--cardinality", "2"]) == 0
+        capsys.readouterr()
+        assert main(["diagnose", *base, "--trials", "1",
+                     "--cardinality", "2"]) == 0
+        assert "warm-loaded" in capsys.readouterr().out
+        assert main(["campaign", *base, "--trials", "10",
+                     "--max-faults", "2"]) == 0
+        assert "100.00%" in capsys.readouterr().out
+
+    def test_warm_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warm", "--size", "3"])

@@ -79,6 +79,31 @@ class TestSharding:
         seeds = {_mix_seed(0, k, s) for k in range(1, 6) for s in range(8)}
         assert len(seeds) == 40  # no collisions across (k, shard)
 
+    def test_mix_seed_no_collisions_across_seed_and_k(self):
+        """Satellite: naive ``seed + k`` sweeps collide — ``(seed=0, k=2)``
+        and ``(seed=1, k=1)`` would draw identical chips.  The splitmix64
+        route must keep every (seed, k, shard) stream distinct."""
+        assert _mix_seed(0, 2, 0) != _mix_seed(1, 1, 0)
+        grid = {
+            _mix_seed(seed, k, shard)
+            for seed in range(12)
+            for k in range(1, 6)
+            for shard in range(4)
+        }
+        assert len(grid) == 12 * 5 * 4
+
+    def test_serial_sweep_routes_through_mix_seed(self, bundle):
+        """campaign.run_sweep's per-k seed is mix_seed(seed, k), verbatim."""
+        from repro.sim import mix_seed, run_sweep as serial_sweep
+
+        fpva, vectors = bundle
+        assert mix_seed(0, 2) == _mix_seed(0, 2, 0)
+        sweep = serial_sweep(fpva, vectors, fault_counts=(2,), trials=15, seed=0)
+        direct = run_campaign_serial(
+            fpva, vectors, num_faults=2, trials=15, seed=mix_seed(0, 2)
+        )
+        assert _result_key(sweep[2]) == _result_key(direct)
+
     def test_detection_rate_comparable_to_serial(self, bundle):
         """Sharding changes RNG streams, not statistics: the paper's
         all-detected result must survive the parallel path."""

@@ -184,7 +184,8 @@ class TestDictionaryEquivalence:
             expected={"o1": False},  # o2 missing
         )
         suite = vectors + [partial]
-        fast = FaultDictionary(fpva, suite, backend="kernel")
+        with pytest.warns(UserWarning, match="falling\\s+back"):
+            fast = FaultDictionary(fpva, suite, backend="kernel")
         ref = FaultDictionary(fpva, suite, backend="legacy")
         assert list(fast._table.items()) == list(ref._table.items())
 
