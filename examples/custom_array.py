@@ -9,6 +9,7 @@ two-fault guarantee, and render the artifacts.
 """
 
 from repro import (
+    ExecutionContext,
     FPVABuilder,
     Side,
     TestGenerator,
@@ -35,24 +36,35 @@ def build_chip():
 
 def main() -> None:
     fpva = build_chip()
+    # One session end to end: generation, validation, coverage and the
+    # two-fault audit all share a single compiled kernel.
+    ctx = ExecutionContext(fpva)
     print(fpva.describe())
     print(render_array(fpva))
     print()
 
-    generated = TestGenerator(fpva, path_strategy="hierarchical", subblock=4).generate()
+    generated = TestGenerator(
+        fpva, path_strategy="hierarchical", subblock=4, context=ctx
+    ).generate()
     suite = generated.testset
     print("generation:", generated.report.row())
 
     # Independent validation: every vector legal, every fault observed.
-    report = validate_suite(fpva, suite.all_vectors(), check_pair_coverage=True)
+    report = validate_suite(
+        fpva, suite.all_vectors(), check_pair_coverage=True, context=ctx
+    )
     print(f"suite validation: {'OK' if report.ok else report.issues[:3]}")
 
-    coverage = measure_coverage(fpva, suite.all_vectors())
+    coverage = measure_coverage(fpva, suite.all_vectors(), context=ctx)
     print("coverage:", coverage.summary())
 
     # The paper's guarantee: any two simultaneous faults are detected.
     audit = audit_two_fault_detection(
-        fpva, suite.all_vectors(), include_control_leaks=False, max_pairs=2000
+        fpva,
+        suite.all_vectors(),
+        include_control_leaks=False,
+        max_pairs=2000,
+        context=ctx,
     )
     print(
         f"two-fault audit: {audit.singles_checked} singles, "

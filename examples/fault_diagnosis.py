@@ -12,9 +12,8 @@ import random
 
 from repro import (
     ChipUnderTest,
+    ExecutionContext,
     FaultDictionary,
-    StuckAt0,
-    StuckAt1,
     TestGenerator,
     full_layout,
 )
@@ -23,13 +22,18 @@ from repro.sim import fault_universe, sample_fault_set
 
 def main() -> None:
     fpva = full_layout(5, 5, name="diagnosable")
-    suite = TestGenerator(fpva).generate().testset
+    ctx = ExecutionContext(fpva)  # one compiled kernel for suite + dictionary
+    suite = TestGenerator(fpva, context=ctx).generate().testset
     print(f"{fpva.describe()}")
     print(f"suite: {suite.summary()}")
 
     # Precompute the syndrome dictionary for all single faults.
     dictionary = FaultDictionary(
-        fpva, suite.all_vectors(), include_control_leaks=True, max_cardinality=1
+        fpva,
+        suite.all_vectors(),
+        include_control_leaks=True,
+        max_cardinality=1,
+        context=ctx,
     )
     print(
         f"dictionary: {dictionary.distinct_syndromes} distinct syndromes, "

@@ -13,14 +13,13 @@ whether the region is usable.
 from repro import (
     ChipUnderTest,
     DynamicMixer,
+    ExecutionContext,
     StuckAt0,
     TestGenerator,
-    Tester,
     ValveState,
     full_layout,
 )
 from repro.fpva import Cell
-from repro.sim import PressureSimulator
 
 
 def ring_intact(fpva, chip, mixer) -> bool:
@@ -57,9 +56,11 @@ def main() -> None:
     print(f"  2x4 mixer ring usable: {ring_intact(fpva, chip, wide)}")
 
     # The generated suite catches the defect at manufacturing test, before
-    # any application mapping happens.
-    suite = TestGenerator(fpva, include_leakage=False).generate().testset
-    tester = Tester(fpva)
+    # any application mapping happens — generation and testing share one
+    # compiled-kernel session.
+    ctx = ExecutionContext(fpva)
+    suite = TestGenerator(fpva, include_leakage=False, context=ctx).generate().testset
+    tester = ctx.tester
     run = tester.run(chip, suite.all_vectors(), stop_at_first_fail=True)
     print(f"\nmanufacturing test: defect detected = {run.fault_detected} "
           f"(vector {run.failing[0].vector.name!r})")

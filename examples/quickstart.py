@@ -7,25 +7,28 @@ Runs on the paper's 5x5 benchmark array (39 valves, one transport channel).
 
 from repro import (
     ChipUnderTest,
+    ExecutionContext,
     StuckAt0,
     StuckAt1,
     TestGenerator,
-    Tester,
     render_array,
     table1_layout,
 )
 
 
 def main() -> None:
-    # 1. The device under test: the paper's 5x5 Table I array.
+    # 1. The device under test: the paper's 5x5 Table I array, wrapped in
+    #    one ExecutionContext — the session that compiles the reachability
+    #    kernel once and shares it across generation and testing.
     fpva = table1_layout(5)
+    ctx = ExecutionContext(fpva)
     print(fpva.describe())
     print(render_array(fpva))
     print()
 
     # 2. Generate the complete test suite: flow paths (stuck-at-0),
     #    cut-sets (stuck-at-1) and control-leakage vectors.
-    generated = TestGenerator(fpva).generate()
+    generated = TestGenerator(fpva, context=ctx).generate()
     suite = generated.testset
     print("generation report:")
     print(" ", generated.report.row())
@@ -33,7 +36,7 @@ def main() -> None:
     print()
 
     # 3. A defect-free chip passes every vector.
-    tester = Tester(fpva)
+    tester = ctx.tester
     good = ChipUnderTest(fpva)
     result = tester.run(good, suite.all_vectors())
     print(f"defect-free chip: {len(result.outcomes)} vectors applied, "

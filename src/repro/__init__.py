@@ -24,6 +24,9 @@ Quickstart::
     assert tester.run(chip, suite.all_vectors()).fault_detected
 """
 
+# repro.core first: its modules pull in repro.context themselves, and the
+# import chain must enter the cycle through the package that re-exports
+# submodules lazily importable mid-initialization (context ← sim ← core).
 from repro.core import (
     BaselineGenerator,
     CutSetGenerator,
@@ -42,6 +45,7 @@ from repro.core import (
     render_paths,
     validate_suite,
 )
+from repro.context import ExecutionContext, Session
 from repro.fpva import (
     FPVA,
     Cell,
@@ -73,6 +77,8 @@ from repro.store import ArtifactStore
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionContext",
+    "Session",
     "BaselineGenerator",
     "CutSetGenerator",
     "FlowPathGenerator",

@@ -1,10 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command builds one :class:`~repro.context.ExecutionContext` per
+array — the session owning the compiled kernel, the artifact store and
+the shared simulator/tester — and threads it through generation,
+campaigns and diagnosis, so ``--cache-dir`` warm-starts *every*
+subcommand (generation included) and nothing compiles twice.
+
 Commands
 --------
 ``generate``  Generate a test suite for a benchmark or full array and print
-              (or save as JSON) the vectors.
-``table1``    Regenerate the paper's Table I rows.
+              (or save as JSON) the vectors.  ``--cache-dir`` warm-loads
+              the compiled reachability kernel from the artifact store.
+``table1``    Regenerate the paper's Table I rows (``--cache-dir`` warm
+              starts each row's kernel).
 ``show``      Render an array (optionally with its flow paths) as ASCII.
 ``campaign``  Run a random fault-injection campaign against a generated
               suite and report detection rates.  ``--workers N`` shards the
@@ -17,7 +25,9 @@ Commands
               warm-starts the dictionary from the artifact store.
 ``warm``      Prebuild the cached artifacts (compiled kernel + fault
               dictionary) for an array into ``--cache-dir``, so later
-              ``campaign``/``diagnose`` runs skip compilation entirely.
+              runs skip compilation entirely; ``--table1`` prebuilds (and
+              reports) the kernel artifacts for every Table I generation
+              layout instead.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ import random
 import sys
 import time
 
+from repro.context import ExecutionContext
 from repro.core import TestGenerator, measure_coverage, render_array, render_paths
 from repro.engine import (
     AdaptiveDiagnoser,
@@ -36,7 +47,6 @@ from repro.engine import (
 )
 from repro.fpva import TABLE1_SIZES, full_layout, table1_layout
 from repro.sim import ChipUnderTest, FaultDictionary
-from repro.store import ArtifactStore
 
 
 def _layout(args):
@@ -45,6 +55,15 @@ def _layout(args):
     if args.size in TABLE1_SIZES:
         return table1_layout(args.size)
     return full_layout(args.size, args.size)
+
+
+def _context(args, fpva=None) -> ExecutionContext:
+    """The command's session: one kernel, one store, one tester."""
+    return ExecutionContext(
+        fpva if fpva is not None else _layout(args),
+        cache_dir=getattr(args, "cache_dir", None),
+        seed=getattr(args, "seed", 0),
+    )
 
 
 def _add_array_args(p):
@@ -57,15 +76,19 @@ def _add_array_args(p):
 
 
 def cmd_generate(args) -> int:
-    fpva = _layout(args)
-    generated = TestGenerator(fpva, path_strategy=args.strategy).generate()
+    ctx = _context(args)
+    generated = TestGenerator(
+        ctx.fpva, path_strategy=args.strategy, context=ctx
+    ).generate()
     print(generated.report.row())
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(generated.testset.to_json())
         print(f"wrote {generated.testset.total} vectors to {args.out}")
     if args.coverage:
-        report = measure_coverage(fpva, generated.testset.all_vectors())
+        report = measure_coverage(
+            ctx.fpva, generated.testset.all_vectors(), context=ctx
+        )
         print("coverage:", report.summary())
     return 0
 
@@ -74,8 +97,11 @@ def cmd_table1(args) -> int:
     sizes = [args.size] if args.size else list(TABLE1_SIZES)
     for n in sizes:
         fpva = table1_layout(n)
+        ctx = _context(args, fpva)
         strategy = "direct" if n == 5 else "hierarchical"
-        generated = TestGenerator(fpva, path_strategy=strategy).generate()
+        generated = TestGenerator(
+            fpva, path_strategy=strategy, context=ctx
+        ).generate()
         print(generated.report.row())
     return 0
 
@@ -92,8 +118,9 @@ def cmd_show(args) -> int:
 
 
 def cmd_campaign(args) -> int:
-    fpva = _layout(args)
-    suite = TestGenerator(fpva).generate().testset
+    ctx = _context(args)
+    fpva = ctx.fpva
+    suite = TestGenerator(fpva, context=ctx).generate().testset
     print(suite.summary())
     scenario = get_scenario(args.scenario) if args.scenario else None
     fault_counts = tuple(range(1, args.max_faults + 1))
@@ -109,7 +136,7 @@ def cmd_campaign(args) -> int:
         seed=args.seed,
         workers=args.workers,
         scenario=scenario,
-        cache_dir=args.cache_dir,
+        context=ctx,
     )
     failures = 0
     for k, result in sorted(sweep.items()):
@@ -122,8 +149,9 @@ def cmd_campaign(args) -> int:
 
 
 def cmd_diagnose(args) -> int:
-    fpva = _layout(args)
-    suite = TestGenerator(fpva).generate().testset
+    ctx = _context(args)
+    fpva = ctx.fpva
+    suite = TestGenerator(fpva, context=ctx).generate().testset
     print(suite.summary())
     scenario = get_scenario(args.scenario)
     universe = scenario.universe(fpva)
@@ -133,14 +161,14 @@ def cmd_diagnose(args) -> int:
         suite.all_vectors(),
         universe=universe,
         max_cardinality=args.cardinality,
-        store=args.cache_dir,
+        context=ctx,
     )
     print(
         f"dictionary {'warm-loaded' if dictionary.warm_loaded else 'built'} "
         f"in {time.perf_counter() - t0:.2f}s "
         f"({dictionary.distinct_syndromes} syndromes)"
     )
-    engine = AdaptiveDiagnoser(dictionary) if args.adaptive else None
+    engine = AdaptiveDiagnoser(dictionary, context=ctx) if args.adaptive else None
     rng = random.Random(args.seed)
 
     localized = unique = 0
@@ -173,19 +201,34 @@ def cmd_diagnose(args) -> int:
     return 0 if localized == args.trials else 1
 
 
+def _warm_kernel(ctx: ExecutionContext) -> None:
+    """Warm-load or compile-and-persist one session kernel; report it."""
+    t0 = time.perf_counter()
+    kernel = ctx.kernel
+    status = "warm" if ctx.kernel_loads else "cold"
+    print(
+        f"kernel  {ctx.store.kernels.path_for(ctx.fpva).name}: {kernel!r} "
+        f"({status}, {time.perf_counter() - t0:.2f}s)"
+    )
+
+
 def cmd_warm(args) -> int:
     """Prebuild the cached artifacts for one array configuration."""
-    fpva = _layout(args)
-    suite = TestGenerator(fpva).generate().testset
-    print(suite.summary())
-    store = ArtifactStore(args.cache_dir)
+    if args.table1:
+        # Generation layouts: one kernel artifact per Table I array, so
+        # `generate`/`table1 --cache-dir` warm-start every row.
+        for n in TABLE1_SIZES:
+            ctx = _context(args, table1_layout(n))
+            _warm_kernel(ctx)
+        return 0
 
-    t0 = time.perf_counter()
-    kernel = store.kernels.get_or_compile(fpva)
-    print(
-        f"kernel  {store.kernels.path_for(fpva).name}: {kernel!r} "
-        f"({time.perf_counter() - t0:.2f}s)"
-    )
+    ctx = _context(args)
+    fpva = ctx.fpva
+    # Kernel first, so the reported time is the actual compile/load (suite
+    # generation below reuses it from the session).
+    _warm_kernel(ctx)
+    suite = TestGenerator(fpva, context=ctx).generate().testset
+    print(suite.summary())
 
     scenario = get_scenario(args.scenario)
     universe = scenario.universe(fpva)
@@ -195,8 +238,7 @@ def cmd_warm(args) -> int:
         suite.all_vectors(),
         universe=universe,
         max_cardinality=args.cardinality,
-        store=store,
-        kernel=kernel,
+        context=ctx,
     )
     print(
         f"dictionary  {dictionary.digest}: "
@@ -222,11 +264,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="write the suite as JSON to this path")
     p.add_argument("--coverage", action="store_true",
                    help="also measure observability-based fault coverage")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact store; generation warm-loads the compiled "
+                        "kernel from here (see `warm --table1`)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table I")
     p.add_argument("--size", type=int, choices=TABLE1_SIZES,
                    help="only this array (default: all five)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact store; each row warm-loads its compiled "
+                        "kernel from here (see `warm --table1`)")
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("show", help="render an array as ASCII")
@@ -278,6 +326,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cardinality", type=int, choices=(1, 2), default=1,
                    help="max faults per dictionary entry (2 streams the "
                         "quadratic double-fault universe to disk)")
+    p.add_argument("--table1", action="store_true",
+                   help="instead: prebuild/report the kernel artifacts for "
+                        "every Table I generation layout")
     p.set_defaults(func=cmd_warm)
     return parser
 

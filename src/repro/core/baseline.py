@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.context import ExecutionContext
 from repro.core.cutsets import CutSetGenerator
 from repro.core.pathmodel import CoverPath, edge_key
 from repro.core.paths import path_to_vector
@@ -28,7 +29,6 @@ from repro.core.routing import RoutingError, disjoint_route_through
 from repro.core.vectors import TestVector, VectorKind
 from repro.fpva.array import FPVA
 from repro.fpva.geometry import Edge
-from repro.sim.pressure import PressureSimulator
 
 
 @dataclass
@@ -46,10 +46,11 @@ class BaselineResult:
 class BaselineGenerator:
     """Generates the naive 2-vectors-per-valve suite."""
 
-    def __init__(self, fpva: FPVA):
+    def __init__(self, fpva: FPVA, context: ExecutionContext | None = None):
         self.fpva = fpva
-        self.simulator = PressureSimulator(fpva)
-        self._cuts = CutSetGenerator(fpva, strategy="sweep")
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
+        self._cuts = CutSetGenerator(fpva, strategy="sweep", context=self.context)
 
     def open_test(self, valve: Edge, name: str) -> TestVector | None:
         """A path vector dedicated to ``valve``'s stuck-at-0 fault."""

@@ -14,18 +14,34 @@ The checks are implemented with two graph tricks so large arrays stay fast:
   open-edge graph, so bridges are enumerated once per vector (Tarjan) and
   only those few candidates are re-simulated;
 * stuck-at-1: opening a closed valve only matters if exactly one of its end
-  cells is pressurized; a flood from the dark end over the open edges then
-  decides whether a dark meter lights up.
+  cells is pressurized — only those candidates are re-simulated.
+
+The candidate re-simulations themselves run **bit-parallel** on a
+kernel-engine session: all of a vector's SA0 closures (and SA1 leaks) are
+evaluated in one :meth:`~repro.sim.kernel.ReachabilityKernel.batch_readings`
+call, 64 scenarios per machine word.  An ``engine="object"`` session keeps
+the original one-query-at-a-time object-BFS paths (per-candidate
+``meter_readings`` for SA0, the shared dark-region flood for SA1) as the
+reference the batched path is property-tested against.
+
+Both observability functions take the same canonical arguments —
+``(source, vector, fpva=None)`` where ``source`` is an
+:class:`~repro.context.ExecutionContext` or a
+:class:`~repro.sim.pressure.PressureSimulator` — with keyword-compatible
+shims for the two historical (and mutually inconsistent) positional
+orders.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
 from repro.fpva.control import iter_ordered_pairs
@@ -47,13 +63,75 @@ def open_edge_graph(fpva: FPVA, vector: TestVector) -> nx.Graph:
     return g
 
 
+def _resolve_observability_args(
+    source, vector, fpva, context, simulator, func_name: str
+) -> tuple[PressureSimulator, TestVector, FPVA]:
+    """Normalize the canonical and both historical argument orders.
+
+    Canonical: ``func(source, vector, fpva=None)`` with ``source`` an
+    :class:`ExecutionContext` or :class:`PressureSimulator`.  Historical:
+    ``sa0_observable_valves(simulator, vector, fpva)`` (already canonical)
+    and ``sa1_observable_valves(fpva, simulator, vector)`` (array first —
+    accepted with a :class:`DeprecationWarning`).  ``context=`` /
+    ``simulator=`` keywords always win over positional sources.
+    """
+    vec = ctx = sim = array = None
+    legacy_slot = False
+    for slot, value in enumerate((source, vector, fpva)):
+        if isinstance(value, TestVector):
+            vec = value if vec is None else vec
+        elif isinstance(value, ExecutionContext):
+            ctx = value if ctx is None else ctx
+            legacy_slot = legacy_slot or slot != 0
+        elif isinstance(value, PressureSimulator):
+            sim = value if sim is None else sim
+            legacy_slot = legacy_slot or slot != 0
+        elif isinstance(value, FPVA):
+            array = value if array is None else array
+        elif value is not None:
+            raise TypeError(
+                f"{func_name}() got an unexpected positional argument "
+                f"{value!r} in slot {slot}"
+            )
+    if legacy_slot:
+        warnings.warn(
+            f"{func_name}(fpva, simulator, vector) argument order is "
+            f"deprecated; call {func_name}(context_or_simulator, vector, "
+            f"fpva=None) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    if vec is None:
+        raise TypeError(f"{func_name}() requires a TestVector")
+    if context is not None:
+        ctx = context
+    if ctx is not None:
+        resolved = ctx.simulator
+    elif simulator is not None:
+        resolved = simulator
+    elif sim is not None:
+        resolved = sim
+    elif array is not None:
+        resolved = ExecutionContext(array).simulator
+    else:
+        raise TypeError(
+            f"{func_name}() requires an ExecutionContext or PressureSimulator"
+        )
+    return resolved, vec, array or resolved.fpva
+
+
 def sa0_observable_valves(
-    simulator: PressureSimulator,
-    vector: TestVector,
+    source=None,
+    vector: TestVector | None = None,
     fpva: FPVA | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    simulator: PressureSimulator | None = None,
 ) -> set[Edge]:
     """Open valves whose lone closure changes the vector's meter readings."""
-    fpva = fpva or simulator.fpva
+    sim, vector, fpva = _resolve_observability_args(
+        source, vector, fpva, context, simulator, "sa0_observable_valves"
+    )
     g = open_edge_graph(fpva, vector)
     sources = [p for p in fpva.sources]
     live_nodes: set = set()
@@ -68,34 +146,90 @@ def sa0_observable_valves(
         edge = Edge(min(u, w), max(u, w))
         if edge in vector.open_valves:
             candidates.add(edge)
+    if not candidates:
+        return set()
 
+    expected = dict(vector.expected)
+    if sim.engine == "kernel":
+        # All candidate closures of this vector in one bit-parallel batch.
+        kernel = sim.kernel
+        cand = sorted(candidates)
+        rows = kernel.toggled_readings(
+            kernel.valve_mask(vector.open_valves), cand, set_bit=False
+        )
+        names = kernel.sink_names
+        return {
+            valve
+            for valve, row in zip(cand, rows)
+            if {n: bool(b) for n, b in zip(names, row)} != expected
+        }
+
+    # engine="object" reference: one query per candidate.
     out: set[Edge] = set()
     for valve in candidates:
-        readings = simulator.meter_readings(vector.open_valves - {valve})
-        if readings != dict(vector.expected):
+        readings = sim.meter_readings(vector.open_valves - {valve})
+        if readings != expected:
             out.add(valve)
     return out
 
 
 def sa1_observable_valves(
-    fpva: FPVA,
-    simulator: PressureSimulator,
-    vector: TestVector,
+    source=None,
+    vector: TestVector | None = None,
+    fpva: FPVA | None = None,
+    *,
+    context: ExecutionContext | None = None,
+    simulator: PressureSimulator | None = None,
 ) -> set[Edge]:
     """Closed valves whose lone leak changes the vector's meter readings.
 
     Opening a valve can only *add* pressure, so a leak is observable exactly
     when it pressurizes a meter that expected no pressure.
     """
+    sim, vector, fpva = _resolve_observability_args(
+        source, vector, fpva, context, simulator, "sa1_observable_valves"
+    )
     dark_sinks = {name for name, hit in vector.expected.items() if not hit}
     if not dark_sinks:
         return set()
-    pressurized = simulator.pressurized_nodes(vector.open_valves)
-    g = open_edge_graph(fpva, vector)
-    sink_by_cell_node = {p: p.name for p in fpva.sinks}
+    pressurized = sim.pressurized_nodes(vector.open_valves)
 
-    # Group dark candidates by their dark-side end cell: all valves leaking
-    # into the same dark region share one flood.
+    # Candidates: closed valves with exactly one pressurized end — opening
+    # anything else changes no reading.
+    candidates: list[tuple[Edge, Cell]] = []
+    for valve in fpva.valves:
+        if valve in vector.open_valves:
+            continue
+        a_live = valve.a in pressurized
+        b_live = valve.b in pressurized
+        if a_live == b_live:
+            continue
+        candidates.append((valve, valve.b if a_live else valve.a))
+    if not candidates:
+        return set()
+
+    if sim.engine == "kernel":
+        # All candidate leaks of this vector in one bit-parallel batch: the
+        # leak is observable iff some expected-dark meter lights up.
+        kernel = sim.kernel
+        rows = kernel.toggled_readings(
+            kernel.valve_mask(vector.open_valves),
+            [valve for valve, _ in candidates],
+            set_bit=True,
+        )
+        dark_cols = [
+            j for j, name in enumerate(kernel.sink_names) if name in dark_sinks
+        ]
+        return {
+            valve
+            for (valve, _), row in zip(candidates, rows)
+            if any(row[j] for j in dark_cols)
+        }
+
+    # engine="object" reference: group dark candidates by their dark-side
+    # end cell — all valves leaking into the same dark region share one
+    # flood over the open-edge graph.
+    g = open_edge_graph(fpva, vector)
     flood_cache: dict[Cell, bool] = {}
 
     def flood_lights_dark_sink(start: Cell) -> bool:
@@ -119,18 +253,9 @@ def sa1_observable_valves(
         flood_cache[start] = hit
         return hit
 
-    out: set[Edge] = set()
-    for valve in fpva.valves:
-        if valve in vector.open_valves:
-            continue
-        a_live = valve.a in pressurized
-        b_live = valve.b in pressurized
-        if a_live == b_live:
-            continue  # both live or both dark: opening changes no reading
-        dark_end = valve.b if a_live else valve.a
-        if flood_lights_dark_sink(dark_end):
-            out.add(valve)
-    return out
+    return {
+        valve for valve, dark_end in candidates if flood_lights_dark_sink(dark_end)
+    }
 
 
 def leak_covered_pairs(
@@ -226,9 +351,10 @@ def measure_coverage(
     vectors: Sequence[TestVector],
     include_leak_pairs: bool = True,
     simulator: PressureSimulator | None = None,
+    context: ExecutionContext | None = None,
 ) -> CoverageReport:
     """Observability-based coverage of a suite over the array's fault list."""
-    sim = simulator or PressureSimulator(fpva)
+    sim = simulator or ExecutionContext.resolve(context, fpva).simulator
     report = CoverageReport()
     all_pairs: set[frozenset] = set()
     if include_leak_pairs:
@@ -241,7 +367,7 @@ def measure_coverage(
     for vector in vectors:
         sa0 = sa0_observable_valves(sim, vector, fpva)
         report.sa0_covered |= sa0
-        report.sa1_covered |= sa1_observable_valves(fpva, sim, vector)
+        report.sa1_covered |= sa1_observable_valves(sim, vector, fpva)
         if include_leak_pairs:
             remaining = all_pairs - report.leak_pairs_covered
             report.leak_pairs_covered |= leak_covered_unordered(

@@ -30,6 +30,7 @@ from typing import Iterable, Sequence
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.pathmodel import (
     CoverPath,
     PathCoverProblem,
@@ -41,7 +42,6 @@ from repro.fpva.array import FPVA
 from repro.fpva.geometry import Edge, Junction
 from repro.fpva.graph import boundary_arcs, junction_graph
 from repro.ilp import SolveOptions
-from repro.sim.pressure import PressureSimulator
 
 
 class CutSetError(RuntimeError):
@@ -98,6 +98,7 @@ class CutSetGenerator:
         strategy: str = "auto",
         solve_options: SolveOptions | None = None,
         max_walls: int = 128,
+        context: ExecutionContext | None = None,
     ):
         if strategy not in ("auto", "ilp", "sweep"):
             raise ValueError(f"unknown cut-set strategy {strategy!r}")
@@ -105,7 +106,8 @@ class CutSetGenerator:
         self.strategy = strategy
         self.solve_options = solve_options or SolveOptions(time_limit=120.0)
         self.max_walls = max_walls
-        self.simulator = PressureSimulator(fpva)
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
         self.dual = junction_graph(fpva)
         self.arcs = boundary_arcs(fpva)
 
@@ -118,12 +120,22 @@ class CutSetGenerator:
     def observable_members(self, wall: Wall) -> set[Edge]:
         """Wall valves whose lone leak re-pressurizes some meter.
 
-        Only these count as stuck-at-1 covered by this wall's vector.
+        Only these count as stuck-at-1 covered by this wall's vector.  On
+        a kernel-engine session every member's leak is evaluated in one
+        bit-parallel batch.
         """
         base_open = self.fpva.valve_set - wall.valves
+        sim = self.simulator
+        if sim.engine == "kernel":
+            kernel = sim.kernel
+            members = sorted(wall.valves)
+            rows = kernel.toggled_readings(
+                kernel.valve_mask(base_open), members, set_bit=True
+            )
+            return {valve for valve, row in zip(members, rows) if row.any()}
         out: set[Edge] = set()
         for valve in wall.valves:
-            readings = self.simulator.meter_readings(base_open | {valve})
+            readings = sim.meter_readings(base_open | {valve})
             if any(readings.values()):
                 out.add(valve)
         return out

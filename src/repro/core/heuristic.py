@@ -19,6 +19,7 @@ from typing import Hashable
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.coverage import sa0_observable_valves
 from repro.core.pathmodel import CoverPath, edge_key
 from repro.core.paths import FlowPathResult, path_to_vector
@@ -29,18 +30,24 @@ from repro.fpva.components import EdgeKind
 from repro.fpva.geometry import Edge
 from repro.fpva.graph import cell_graph
 from repro.fpva.ports import Port
-from repro.sim.pressure import PressureSimulator
 
 
 class GreedyPathGenerator:
     """Greedy coverage walks until every valve is (observably) covered."""
 
-    def __init__(self, fpva: FPVA, seed: int = 0, max_walks: int = 512):
+    def __init__(
+        self,
+        fpva: FPVA,
+        seed: int = 0,
+        max_walks: int = 512,
+        context: ExecutionContext | None = None,
+    ):
         self.fpva = fpva
         self.rng = random.Random(seed)
         self.max_walks = max_walks
         self.graph = cell_graph(fpva)
-        self.simulator = PressureSimulator(fpva)
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
 
     # -- one walk ------------------------------------------------------------
     def walk_once(self, gain_of) -> list[Hashable] | None:

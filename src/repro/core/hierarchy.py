@@ -31,6 +31,7 @@ from typing import Hashable, Sequence
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.coverage import sa0_observable_valves
 from repro.core.pathmodel import (
     CoverPath,
@@ -48,7 +49,6 @@ from repro.fpva.geometry import Cell, Edge
 from repro.fpva.graph import cell_graph
 from repro.fpva.ports import Port
 from repro.ilp import SolveOptions
-from repro.sim.pressure import PressureSimulator
 
 BlockId = tuple[int, int]
 
@@ -140,13 +140,15 @@ class HierarchicalPathGenerator:
         solve_options: SolveOptions | None = None,
         window_options: SolveOptions | None = None,
         max_passes: int = 16,
+        context: ExecutionContext | None = None,
     ):
         self.fpva = fpva
         self.grid = BlockGrid(fpva, subblock)
         self.solve_options = solve_options or SolveOptions(time_limit=60.0)
         self.window_options = window_options or SolveOptions(time_limit=15.0)
         self.max_passes = max_passes
-        self.simulator = PressureSimulator(fpva)
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
         self.graph = cell_graph(fpva)
         self.report = HierarchicalReport()
 

@@ -33,6 +33,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.context import ExecutionContext
 from repro.core.coverage import leak_covered_unordered, sa0_observable_valves
 from repro.core.pathmodel import CoverPath, edge_key
 from repro.core.paths import path_to_vector
@@ -42,7 +43,6 @@ from repro.fpva.array import FPVA
 from repro.fpva.control import control_adjacent_pairs
 from repro.fpva.geometry import Edge
 from repro.sim.faults import untestable_leak_pairs
-from repro.sim.pressure import PressureSimulator
 
 
 @dataclass
@@ -62,10 +62,16 @@ class LeakageResult:
 class LeakageGenerator:
     """Builds the control-leakage section of a test suite."""
 
-    def __init__(self, fpva: FPVA, seed: int = 11):
+    def __init__(
+        self,
+        fpva: FPVA,
+        seed: int = 11,
+        context: ExecutionContext | None = None,
+    ):
         self.fpva = fpva
         self.seed = seed
-        self.simulator = PressureSimulator(fpva)
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
 
     def generate(
         self,
@@ -110,7 +116,7 @@ class LeakageGenerator:
         # Greedy pair-gain walks for the leftovers.
         from repro.core.heuristic import GreedyPathGenerator
 
-        walker = GreedyPathGenerator(self.fpva, seed=self.seed)
+        walker = GreedyPathGenerator(self.fpva, seed=self.seed, context=self.context)
         stall = 0
         while remaining and stall < 8:
             victim_count: Counter = Counter()

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.pathmodel import (
     CoverPath,
     PathCoverProblem,
@@ -147,11 +148,13 @@ class FlowPathGenerator:
         fpva: FPVA,
         solve_options: SolveOptions | None = None,
         max_paths: int = 64,
+        context: ExecutionContext | None = None,
     ):
         self.fpva = fpva
         self.solve_options = solve_options or SolveOptions(time_limit=120.0)
         self.max_paths = max_paths
-        self.simulator = PressureSimulator(fpva)
+        self.context = ExecutionContext.resolve(context, fpva)
+        self.simulator = self.context.simulator
 
     def generate(self, start_paths: int | None = None) -> FlowPathResult:
         problem = build_flow_path_problem(self.fpva)

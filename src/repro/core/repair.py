@@ -29,17 +29,32 @@ synthesizes one breaker vector per miss:
 Every synthesized vector is verified by simulation before it is added.
 Adding vectors is monotone — it can only grow the set of detected fault
 combinations — so one audit/synthesize round suffices.
+
+The quadratic audit is the hot path, and on a kernel-engine session it
+runs **batched**: for an ordered pair ``(SA0(e0), SA1(e1))`` with
+``e0 != e1`` the effective open mask of vector ``m`` factorizes as
+``(m & ~bit(e0)) | bit(e1)``, so per vector only
+``(opens + 1) x (closeds + 1)`` distinct scenarios exist.  They are
+registered through the shared :class:`~repro.sim.kernel.BatchEvaluator`
+(64 scenarios per machine word, deduplicated across vectors) and the
+full pair-by-pair verdict matrix falls out of two fancy-indexing ORs —
+no per-pair simulation at all.  An ``engine="object"`` session keeps the
+original chip-at-a-time loop as the reference; both orders of audit
+produce identical reports and identical synthesized vectors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.context import ExecutionContext
 from repro.core.routing import RoutingError, disjoint_route_through, route_valves
 from repro.core.vectors import TestSet, TestVector, VectorKind, vector_from_open_set
 from repro.fpva.array import FPVA
-from repro.fpva.geometry import Edge
 from repro.sim.faults import StuckAt0, StuckAt1
+from repro.sim.kernel import BatchEvaluator, SinkCoverageError
 from repro.sim.pressure import PressureSimulator
 from repro.sim.tester import Tester
 
@@ -58,17 +73,85 @@ class HardeningReport:
         return not self.pairs_unrepaired
 
 
+def _find_masked_batched(
+    fpva: FPVA, evaluator: BatchEvaluator
+) -> tuple[int, list[tuple[StuckAt0, StuckAt1]]]:
+    """Bit-parallel audit of every ordered mixed pair.
+
+    Registers each vector's ``(cleared-open, set-closed)`` scenario grid
+    with the evaluator, flushes once, and ORs per-vector failure grids
+    into the full ``valve x valve`` detection matrix by fancy indexing
+    (row = which open valve the SA0 clears, ``0`` when it clears nothing;
+    column = which closed valve the SA1 sets, ``0`` when it sets
+    nothing).  Pair order and verdicts are identical to the serial loop.
+    """
+    kernel = evaluator.kernel
+    valves = list(fpva.valves)
+    n = len(valves)
+    vidx = {v: i for i, v in enumerate(valves)}
+    bit = {v: 1 << kernel.valve_index[v] for v in valves}
+
+    grids: list[tuple[int, list[list[int]], np.ndarray, np.ndarray]] = []
+    slot = evaluator.slot
+    for mi, vec in enumerate(evaluator.vectors):
+        m = evaluator.commanded_masks[mi]
+        open_vs = [v for v in valves if v in vec.open_valves]
+        closed_vs = [v for v in valves if v not in vec.open_valves]
+        r_map = np.zeros(n, dtype=np.intp)
+        for k, v in enumerate(open_vs):
+            r_map[vidx[v]] = k + 1
+        c_map = np.zeros(n, dtype=np.intp)
+        for k, v in enumerate(closed_vs):
+            c_map[vidx[v]] = k + 1
+        grid = []
+        for e0 in (None, *open_vs):
+            m0 = m if e0 is None else m & ~bit[e0]
+            grid.append([slot(m0, 0)] + [slot(m0 | bit[e1], 0) for e1 in closed_vs])
+        grids.append((mi, grid, r_map, c_map))
+    evaluator.flush()
+
+    detected = np.zeros((n, n), dtype=bool)
+    for mi, grid, r_map, c_map in grids:
+        fails = evaluator.failed_grid(mi, grid)
+        detected |= fails[np.ix_(r_map, c_map)]
+    np.fill_diagonal(detected, True)  # e0 == e1 is not an audited pair
+
+    sa0s = [StuckAt0(v) for v in valves]
+    sa1s = [StuckAt1(v) for v in valves]
+    missed = [
+        (sa0s[i0], sa1s[i1]) for i0, i1 in np.argwhere(~detected)
+    ]
+    return n * (n - 1), missed
+
+
 def find_masked_stuck_pairs(
     fpva: FPVA,
     vectors,
     tester: Tester | None = None,
+    context: ExecutionContext | None = None,
 ) -> tuple[int, list[tuple[StuckAt0, StuckAt1]]]:
     """All undetected ``(SA0, SA1)`` pairs under ``vectors``.
 
     Only mixed-polarity pairs are audited — the monotonicity argument in
-    the module docstring rules the rest out.
+    the module docstring rules the rest out.  On a kernel-engine session
+    (the default) the audit is batched; an ``engine="object"`` context
+    (or an object-engine ``tester``) takes the serial reference loop.
     """
-    tester = tester or Tester(fpva)
+    vectors = list(vectors)
+    if tester is None:
+        context = ExecutionContext.resolve(context, fpva)
+        tester = context.tester
+    if tester.simulator.engine == "kernel":
+        evaluator = None
+        try:
+            if context is not None:
+                evaluator = context.evaluator(vectors)
+            else:
+                evaluator = BatchEvaluator(tester.simulator.kernel, vectors)
+        except SinkCoverageError:
+            pass  # partial expectations: fall through to the serial loop
+        if evaluator is not None:
+            return _find_masked_batched(fpva, evaluator)
     audited = 0
     missed: list[tuple[StuckAt0, StuckAt1]] = []
     for v0 in fpva.valves:
@@ -140,18 +223,24 @@ def synthesize_pair_breaker(
     return None
 
 
-def harden_double_faults(fpva: FPVA, testset: TestSet) -> HardeningReport:
+def harden_double_faults(
+    fpva: FPVA,
+    testset: TestSet,
+    context: ExecutionContext | None = None,
+) -> HardeningReport:
     """Audit ``testset`` for masked mixed pairs and append breaker vectors.
 
-    Exhaustive over ordered (SA0, SA1) valve pairs, so intended for the
-    benchmark-scale arrays used in tests and examples; the audit is
-    quadratic in the valve count.
+    Exhaustive over ordered (SA0, SA1) valve pairs; the audit itself is
+    batched through the session's evaluator (see
+    :func:`find_masked_stuck_pairs`), so arrays well past the old
+    benchmark scale stay practical.
     """
-    tester = Tester(fpva)
-    simulator = tester.simulator
+    context = ExecutionContext.resolve(context, fpva)
+    tester = context.tester
+    simulator = context.simulator
     report = HardeningReport()
     report.pairs_audited, missed = find_masked_stuck_pairs(
-        fpva, testset.all_vectors(), tester
+        fpva, testset.all_vectors(), tester, context=context
     )
     report.pairs_missed = missed
     for i, (sa0, sa1) in enumerate(missed):

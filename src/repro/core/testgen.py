@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.context import ExecutionContext
 from repro.core.cutsets import CutSetGenerator
 from repro.core.heuristic import GreedyPathGenerator
 from repro.core.hierarchy import BlockGrid, HierarchicalPathGenerator
@@ -85,6 +86,7 @@ class TestGenerator:
         include_leakage: bool = True,
         leakage_standalone: bool = True,
         harden_double_faults: bool = False,
+        context: ExecutionContext | None = None,
     ):
         if path_strategy not in PATH_STRATEGIES:
             raise ValueError(f"path_strategy must be one of {PATH_STRATEGIES}")
@@ -98,6 +100,10 @@ class TestGenerator:
         self.include_leakage = include_leakage
         self.leakage_standalone = leakage_standalone
         self.harden_double_faults = harden_double_faults
+        #: One session shared by every sub-generator (and the hardening
+        #: pass), so the whole generate() run compiles at most one kernel
+        #: and pools its batch-evaluation scenario tables.
+        self.context = ExecutionContext.resolve(context, fpva)
 
     def _resolve_path_strategy(self) -> str:
         if self.path_strategy != "auto":
@@ -118,7 +124,7 @@ class TestGenerator:
         t0 = time.perf_counter()
         if strategy == "direct":
             paths = FlowPathGenerator(
-                self.fpva, solve_options=self.solve_options
+                self.fpva, solve_options=self.solve_options, context=self.context
             ).generate()
             report.hierarchy = "1x1"
         elif strategy == "hierarchical":
@@ -126,9 +132,10 @@ class TestGenerator:
                 self.fpva,
                 subblock=self.subblock,
                 solve_options=self.solve_options,
+                context=self.context,
             ).generate()
         else:
-            paths = GreedyPathGenerator(self.fpva).generate()
+            paths = GreedyPathGenerator(self.fpva, context=self.context).generate()
         report.tp_seconds = time.perf_counter() - t0
         testset.flow_paths = paths.vectors
         report.np_paths = len(paths.vectors)
@@ -139,6 +146,7 @@ class TestGenerator:
             self.fpva,
             strategy=self.cut_strategy,
             solve_options=self.solve_options,
+            context=self.context,
         ).generate()
         report.tc_seconds = time.perf_counter() - t0
         testset.cut_sets = cuts.vectors
@@ -147,7 +155,7 @@ class TestGenerator:
         # Control-layer leakage (n_l / t_l).
         if self.include_leakage:
             t0 = time.perf_counter()
-            leaks = LeakageGenerator(self.fpva).generate(
+            leaks = LeakageGenerator(self.fpva, context=self.context).generate(
                 template_vectors=testset.flow_paths,
                 standalone=self.leakage_standalone,
             )
@@ -157,7 +165,9 @@ class TestGenerator:
 
         # Optional mixed-pair hardening (quadratic audit — opt-in).
         if self.harden_double_faults:
-            report.hardening = harden_double_faults(self.fpva, testset)
+            report.hardening = harden_double_faults(
+                self.fpva, testset, context=self.context
+            )
             report.np_paths = len(testset.flow_paths)
             report.nc_cuts = len(testset.cut_sets)
 

@@ -23,18 +23,17 @@ from typing import Sequence
 
 import networkx as nx
 
+from repro.context import ExecutionContext
 from repro.core.coverage import (
     measure_coverage,
     open_edge_graph,
     sa0_observable_valves,
-    sa1_observable_valves,
 )
 from repro.core.vectors import TestVector, VectorKind
 from repro.fpva.array import FPVA
 from repro.fpva.ports import Port
 from repro.sim.faults import Fault, fault_universe, faults_compatible
 from repro.sim.pressure import PressureSimulator
-from repro.sim.tester import Tester
 
 
 @dataclass
@@ -63,9 +62,10 @@ def validate_vector(
     vector: TestVector,
     simulator: PressureSimulator | None = None,
     report: ValidationReport | None = None,
+    context: ExecutionContext | None = None,
 ) -> ValidationReport:
     """Structural and semantic checks for one vector."""
-    sim = simulator or PressureSimulator(fpva)
+    sim = simulator or ExecutionContext.resolve(context, fpva).simulator
     rep = report or ValidationReport()
 
     actual = sim.meter_readings(vector.open_valves)
@@ -125,9 +125,10 @@ def validate_suite(
     fpva: FPVA,
     vectors: Sequence[TestVector],
     check_pair_coverage: bool = False,
+    context: ExecutionContext | None = None,
 ) -> ValidationReport:
     """Validate every vector and suite-level stuck-at coverage."""
-    sim = PressureSimulator(fpva)
+    sim = ExecutionContext.resolve(context, fpva).simulator
     rep = ValidationReport()
     for vector in vectors:
         validate_vector(fpva, vector, sim, rep)
@@ -165,13 +166,14 @@ def audit_two_fault_detection(
     include_control_leaks: bool = False,
     max_pairs: int | None = 20_000,
     seed: int = 0,
+    context: ExecutionContext | None = None,
 ) -> TwoFaultAudit:
     """Check the paper's guarantee: any one or two faults are detected.
 
     Exhaustive over single faults; over fault pairs it is exhaustive when
     their count is below ``max_pairs`` and uniformly sampled otherwise.
     """
-    tester = Tester(fpva)
+    tester = ExecutionContext.resolve(context, fpva).tester
     universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
     audit = TwoFaultAudit()
 

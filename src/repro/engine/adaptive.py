@@ -110,10 +110,16 @@ class AdaptiveDiagnoser:
     :meth:`diagnose` per chip.
     """
 
-    def __init__(self, dictionary: FaultDictionary):
+    def __init__(self, dictionary: FaultDictionary, context=None):
         self.dictionary = dictionary
         self.vectors = list(dictionary.vectors)
-        self.tester: Tester = dictionary.tester
+        if context is not None:
+            from repro.context import ExecutionContext
+
+            context = ExecutionContext.resolve(context, dictionary.fpva)
+            self.tester: Tester = context.tester
+        else:
+            self.tester = dictionary.tester
         expected = tuple(_signature(dict(v.expected)) for v in self.vectors)
         name_to_index = {v.name: i for i, v in enumerate(self.vectors)}
 

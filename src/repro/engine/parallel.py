@@ -42,22 +42,46 @@ SHARD_TRIALS = 50
 _KERNEL_MEMO: dict[str, ReachabilityKernel] = {}
 
 
-def _kernel_spec(fpva, backend: str, cache_dir):
-    """The kernel as shipped in shard payloads.
+def _resolve_shipping(fpva, backend: str, cache_dir, context):
+    """Normalize (legacy kwargs | context) to ``(backend, kernel_spec)``.
 
-    ``None`` for the legacy backend, the compiled kernel object without a
-    cache, or the persisted artifact's path (a string) with one.
+    The kernel spec is what rides in shard payloads: ``None`` for the
+    legacy backend, the compiled kernel object without a cache, or the
+    persisted artifact's path (a string) with one.  A context supplies
+    its session kernel and artifact store; the pre-context ``backend=``/
+    ``cache_dir=`` keywords remain as deprecation shims for one release.
     """
+    if context is not None:
+        if backend != "kernel" or cache_dir is not None:
+            raise ValueError(
+                "pass either context= or the legacy backend=/cache_dir= "
+                "arguments, not both"
+            )
+        from repro.context import ExecutionContext
+
+        context = ExecutionContext.resolve(context, fpva)
+        if not context.batched:
+            return "legacy", None
+        if context.store is None:
+            return "kernel", context.kernel
+        store = context.store
+        # Materialize first: a cold compile persists itself through the
+        # session store, so the has() check below only catches a kernel
+        # the context adopted pre-compiled (never written anywhere).
+        kernel = context.kernel
+        if not store.kernels.has(fpva):
+            store.kernels.save(kernel)
+        return "kernel", str(store.kernels.path_for(fpva))
     if backend != "kernel":
-        return None
+        return backend, None
     if cache_dir is None:
-        return ReachabilityKernel(fpva)
+        return backend, ReachabilityKernel(fpva)
     from repro.store import ArtifactStore
 
     store = ArtifactStore(cache_dir)
     if not store.kernels.has(fpva):
         store.kernels.save(ReachabilityKernel(fpva))
-    return str(store.kernels.path_for(fpva))
+    return backend, str(store.kernels.path_for(fpva))
 
 
 def _resolve_kernel(fpva, kernel):
@@ -159,10 +183,13 @@ def run_campaign(
     shard_trials: int = SHARD_TRIALS,
     backend: str = "kernel",
     cache_dir: str | os.PathLike | None = None,
+    context=None,
 ) -> CampaignResult:
     """Sharded campaign; result is independent of ``workers`` *and* of
-    whether ``cache_dir`` ships the kernel by path or by pickle."""
-    kernel = _kernel_spec(fpva, backend, cache_dir)
+    whether the kernel ships by artifact path or by pickle.  ``context``
+    supplies the session kernel/store; the ``backend=``/``cache_dir=``
+    keywords remain as deprecation shims for one release."""
+    backend, kernel = _resolve_shipping(fpva, backend, cache_dir, context)
     payloads = _shard_payloads(
         fpva,
         vectors,
@@ -197,6 +224,7 @@ def run_sweep(
     shard_trials: int = SHARD_TRIALS,
     backend: str = "kernel",
     cache_dir: str | os.PathLike | None = None,
+    context=None,
 ) -> dict[int, CampaignResult]:
     """The paper's k-faults sweep, with all (k, shard) tasks in one pool.
 
@@ -206,7 +234,7 @@ def run_sweep(
     mixed in by the finalizer, so no ``seed + k`` arithmetic (whose streams
     collide across sweeps) ever touches the seed.
     """
-    kernel = _kernel_spec(fpva, backend, cache_dir)
+    backend, kernel = _resolve_shipping(fpva, backend, cache_dir, context)
     tagged: list[tuple[int, tuple]] = []
     for k in fault_counts:
         for payload in _shard_payloads(

@@ -19,11 +19,9 @@ from repro.sim.faults import Fault, fault_universe, faults_compatible
 from repro.sim.kernel import (
     BatchEvaluator,
     CompiledFaultSet,
-    ReachabilityKernel,
     SinkCoverageError,
 )
 from repro.sim.seeding import mix_seed
-from repro.sim.tester import Tester
 
 
 @dataclass
@@ -61,6 +59,29 @@ def sample_fault_set(
     raise RuntimeError(f"could not sample {k} compatible faults")
 
 
+def _resolve_context(fpva, context, backend: str, kernel):
+    """Coerce the legacy ``backend=``/``kernel=`` plumbing to a session.
+
+    The old keyword arguments stay accepted as thin deprecation shims (one
+    release): they simply parameterize a fresh private
+    :class:`~repro.context.ExecutionContext`.  Passing them *alongside* an
+    explicit context is a contradiction and raises.
+    """
+    from repro.context import ExecutionContext  # late: context sits above sim
+
+    if context is not None:
+        if backend != "kernel" or kernel is not None:
+            raise ValueError(
+                "pass either context= or the legacy backend=/kernel= "
+                "arguments, not both"
+            )
+        return ExecutionContext.resolve(context, fpva)
+    if backend not in ("kernel", "legacy"):
+        raise ValueError(f"unknown campaign backend {backend!r}")
+    engine = "kernel" if backend == "kernel" else "object"
+    return ExecutionContext(fpva, engine=engine, kernel=kernel)
+
+
 def run_campaign(
     fpva: FPVA,
     vectors: Sequence[TestVector],
@@ -72,6 +93,7 @@ def run_campaign(
     scenario=None,
     backend: str = "kernel",
     kernel=None,
+    context=None,
 ) -> CampaignResult:
     """Inject ``num_faults`` random faults ``trials`` times; count detections.
 
@@ -80,15 +102,18 @@ def run_campaign(
     and ``sample(universe, rng, num_faults)``); when omitted the paper's
     stuck-at/control-leak fault space is sampled directly.
 
-    The default ``kernel`` backend canonicalizes every trial chip to its
-    per-vector effective-state masks, deduplicates, and evaluates the whole
-    campaign through the compiled bitmask kernel — 64 scenarios per machine
-    word.  ``backend="legacy"`` keeps the original chip-at-a-time loop.
+    ``context`` supplies the compiled-kernel session every campaign in a
+    sweep shares (kernel, tester, batch-evaluation scenario pool).  A
+    kernel-engine session canonicalizes every trial chip to its per-vector
+    effective-state masks, deduplicates, and evaluates the whole campaign
+    through the compiled bitmask kernel — 64 scenarios per machine word;
+    an ``engine="object"`` session keeps the original chip-at-a-time loop.
     Both draw fault sets in the same RNG order and report bit-identical
-    :class:`CampaignResult`\\ s.  ``kernel`` optionally supplies a
-    pre-compiled :class:`~repro.sim.kernel.ReachabilityKernel` (the sharded
-    parallel runner compiles once and ships it to every worker).
+    :class:`CampaignResult`\\ s.  The pre-context ``backend=``/``kernel=``
+    keywords remain as deprecation shims for one release; they configure a
+    private session with the same semantics.
     """
+    context = _resolve_context(fpva, context, backend, kernel)
     rng = random.Random(seed)
     if scenario is None:
         universe = fault_universe(fpva, include_control_leaks=include_control_leaks)
@@ -97,11 +122,11 @@ def run_campaign(
         universe = scenario.universe(fpva)
         draw = lambda: scenario.sample(universe, rng, num_faults)  # noqa: E731
     result = CampaignResult(num_faults=num_faults, trials=trials, detected=0)
-    if backend == "kernel":
-        tester = Tester(fpva, kernel=kernel)
+    tester = context.tester
+    if context.batched:
         evaluator = None
         try:
-            evaluator = BatchEvaluator(tester.simulator.kernel, vectors)
+            evaluator = context.evaluator(vectors)
         except SinkCoverageError:
             pass  # partial expectations: fall through to the legacy loop
         if evaluator is not None:
@@ -109,10 +134,6 @@ def run_campaign(
                 evaluator, draw, trials, keep_undetected, result
             )
             return result
-    elif backend != "legacy":
-        raise ValueError(f"unknown campaign backend {backend!r}")
-    else:
-        tester = Tester(fpva, engine="object")
     for _ in range(trials):
         faults = draw()
         chip = ChipUnderTest(fpva, faults)
@@ -169,16 +190,18 @@ def run_sweep(
     scenario=None,
     backend: str = "kernel",
     kernel=None,
+    context=None,
 ) -> dict[int, CampaignResult]:
     """The paper's sweep: k = 1..5 faults, ``trials`` chips per k.
 
-    Each fault count draws from its own RNG stream seeded by
+    One session serves every fault count, so the kernel compiles once and
+    the per-campaign batch evaluations share a scenario-dedup pool.  Each
+    fault count draws from its own RNG stream seeded by
     ``mix_seed(seed, k)`` — never by naive ``seed + k`` arithmetic, whose
     streams collide across sweeps (``(seed=0, k=2)`` and ``(seed=1, k=1)``
     would inject identical chips).
     """
-    if backend == "kernel" and kernel is None:
-        kernel = ReachabilityKernel(fpva)  # compile once for every k
+    context = _resolve_context(fpva, context, backend, kernel)
     return {
         k: run_campaign(
             fpva,
@@ -188,8 +211,7 @@ def run_sweep(
             seed=mix_seed(seed, k),
             include_control_leaks=include_control_leaks,
             scenario=scenario,
-            backend=backend,
-            kernel=kernel,
+            context=context,
         )
         for k in fault_counts
     }

@@ -101,13 +101,17 @@ class DiagnosisReport:
 class FaultDictionary:
     """Precomputed syndrome → fault-set dictionary.
 
-    ``kernel`` optionally supplies a pre-compiled
-    :class:`~repro.sim.kernel.ReachabilityKernel` so diagnosis callers that
-    already hold one stop recompiling per dictionary; without it the kernel
-    is compiled lazily, on first need — a ``backend="legacy"`` build never
-    pays for one.  ``store`` (an :class:`~repro.store.ArtifactStore` or a
-    cache-directory path) enables the warm-start/streaming persistence
-    described in the module docstring.
+    ``context`` binds the dictionary to an
+    :class:`~repro.context.ExecutionContext`: the session's kernel, tester
+    and artifact store are shared instead of re-derived, and the session's
+    engine choice selects the build backend.  The pre-context plumbing
+    stays as thin deprecation shims for one release: ``kernel`` supplies a
+    pre-compiled :class:`~repro.sim.kernel.ReachabilityKernel` directly;
+    ``backend="legacy"`` forces the object-engine build; ``store`` (an
+    :class:`~repro.store.ArtifactStore` or a cache-directory path) enables
+    the warm-start/streaming persistence described in the module
+    docstring.  Without any of them the kernel is compiled lazily, on
+    first need — a legacy build never pays for one.
     """
 
     def __init__(
@@ -121,6 +125,7 @@ class FaultDictionary:
         kernel: ReachabilityKernel | None = None,
         store=None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        context=None,
     ):
         if max_cardinality not in (1, 2):
             raise ValueError("dictionary supports single and double faults")
@@ -130,6 +135,27 @@ class FaultDictionary:
             raise ValueError("chunk_size must be positive")
         from repro.store import as_store  # late: store sits above sim
 
+        if context is not None:
+            from repro.context import ExecutionContext
+
+            if backend != "kernel" or kernel is not None:
+                raise ValueError(
+                    "pass either context= or the legacy backend=/kernel= "
+                    "arguments, not both"
+                )
+            context = ExecutionContext.resolve(context, fpva)
+            backend = "kernel" if context.batched else "legacy"
+            if store is None:
+                store = context.store
+            elif context.store is not None:
+                # Two stores is split-brain caching (kernel in one,
+                # dictionary in the other); a store-less context may be
+                # supplemented, a store-ful one may not be overridden.
+                raise ValueError(
+                    "pass either context= (with its store) or store=, "
+                    "not both"
+                )
+        self._context = context
         self.fpva = fpva
         self.vectors = list(vectors)
         self.backend = backend
@@ -255,7 +281,9 @@ class FaultDictionary:
     def _require_kernel(self) -> ReachabilityKernel:
         """The compiled kernel, built (or warm-loaded) on first need."""
         if self._kernel is None:
-            if self.store is not None:
+            if self._context is not None:
+                self._kernel = self._context.kernel
+            elif self.store is not None:
                 self._kernel = self.store.kernels.get_or_compile(self.fpva)
             else:
                 self._kernel = ReachabilityKernel(self.fpva)
@@ -263,9 +291,13 @@ class FaultDictionary:
 
     @property
     def tester(self) -> Tester:
-        """The kernel-engine tester, constructed lazily on first use."""
+        """The session's tester (kernel-engine when built standalone),
+        constructed lazily on first use."""
         if self._tester is None:
-            self._tester = Tester(self.fpva, kernel=self._require_kernel())
+            if self._context is not None:
+                self._tester = self._context.tester
+            else:
+                self._tester = Tester(self.fpva, kernel=self._require_kernel())
         return self._tester
 
     def _syndrome_of(

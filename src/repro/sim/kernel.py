@@ -375,6 +375,32 @@ class ReachabilityKernel:
             parts.append(self.batch_readings_bool(open_bool, blocked_bool))
         return np.concatenate(parts, axis=0) if len(parts) > 1 else parts[0]
 
+    def toggled_readings(
+        self, base_mask: int, valves: Sequence[Edge], set_bit: bool
+    ) -> np.ndarray:
+        """Sink readings for per-valve single-bit toggles of one open mask.
+
+        Row ``i`` holds the readings of ``base_mask`` with valve ``i``'s
+        bit set (``set_bit=True`` — a lone leak) or cleared (``False`` —
+        a lone closure).  Edges unknown to the kernel toggle nothing, so
+        their row equals the base scenario — the same no-op the
+        object-graph simulator applies.  This is the shared primitive
+        behind the batched observability checks (coverage SA0/SA1, cut
+        wall membership): one bit-parallel batch instead of one query
+        per candidate.
+        """
+        get = self.valve_index.get
+        scenarios = []
+        for valve in valves:
+            vi = get(valve)
+            if vi is None:
+                scenarios.append((base_mask, 0))
+            elif set_bit:
+                scenarios.append((base_mask | (1 << vi), 0))
+            else:
+                scenarios.append((base_mask & ~(1 << vi), 0))
+        return self.batch_readings(scenarios)
+
     def __repr__(self):
         return (
             f"ReachabilityKernel({self.fpva.name!r}, {self.n_nodes} nodes, "
@@ -588,6 +614,18 @@ class BatchEvaluator:
     def passed(self, vi: int, slot: int) -> bool:
         """Whether vector ``vi`` reads as expected under scenario ``slot``."""
         return self.observed_row(slot) == self.expected_rows[vi]
+
+    def failed_grid(self, vi: int, slots) -> np.ndarray:
+        """Vectorized verdicts: does vector ``vi`` fail under each slot?
+
+        ``slots`` is any integer array-like of flushed slot ids; the
+        result has the same shape with ``True`` where the observed row
+        differs from the vector's expectation.  Equivalent to mapping
+        ``not passed(vi, slot)`` but without a Python call per slot.
+        """
+        grid = np.asarray(slots, dtype=np.intp)
+        expected = np.array(self.expected_rows[vi], dtype=bool)
+        return (self._readings[grid] != expected).any(axis=-1)
 
     def observed_items(self, slot: int) -> tuple:
         """``tuple(sorted(observed.items()))`` — the syndrome signature."""

@@ -50,6 +50,9 @@ class PressureSimulator:
         if kernel is not None and kernel.fpva is not fpva:
             raise ValueError("kernel was compiled for a different array")
         self._legacy_built = False
+        #: Which engine public queries dispatch to ("kernel" or "object");
+        #: batched consumers (coverage, hardening) branch on this.
+        self.engine = engine
         if engine == "kernel":
             self.kernel = (
                 kernel if kernel is not None else ReachabilityKernel(fpva)

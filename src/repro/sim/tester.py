@@ -64,7 +64,24 @@ class Tester:
 
     __test__ = False  # not a pytest test class despite the name
 
-    def __init__(self, fpva: FPVA, kernel=None, engine: str = "kernel"):
+    def __init__(
+        self,
+        fpva: FPVA | None = None,
+        kernel=None,
+        engine: str = "kernel",
+        *,
+        simulator: PressureSimulator | None = None,
+    ):
+        if simulator is not None:
+            # Shared-session construction (ExecutionContext.tester): adopt
+            # the session's simulator instead of building a private one.
+            if fpva is not None and simulator.fpva is not fpva:
+                raise ValueError("simulator was built for a different array")
+            self.fpva = simulator.fpva
+            self.simulator = simulator
+            return
+        if fpva is None:
+            raise TypeError("Tester requires an array (or a simulator=)")
         self.fpva = fpva
         self.simulator = PressureSimulator(fpva, kernel=kernel, engine=engine)
 

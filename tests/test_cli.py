@@ -70,3 +70,22 @@ class TestCommands:
     def test_warm_requires_cache_dir(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["warm", "--size", "3"])
+
+    def test_warm_table1_then_cached_generate(self, tmp_path, capsys):
+        """`warm --table1` prebuilds generation-layout kernels; `generate
+        --cache-dir` then warm-loads instead of compiling."""
+        cache = str(tmp_path / "cache")
+        assert main(["warm", "--cache-dir", cache, "--table1"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("(cold") == 5 and "table1-30x30" in out
+        assert main(["warm", "--cache-dir", cache, "--table1"]) == 0
+        assert capsys.readouterr().out.count("(warm") == 5
+
+        from repro.context import ExecutionContext
+        from repro.fpva import table1_layout
+
+        ctx = ExecutionContext(table1_layout(5), cache_dir=cache)
+        ctx.kernel
+        assert ctx.kernel_loads == 1 and ctx.kernel_compiles == 0
+        assert main(["generate", "--size", "5", "--cache-dir", cache]) == 0
+        assert "nv=" in capsys.readouterr().out
