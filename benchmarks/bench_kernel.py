@@ -1,6 +1,6 @@
-"""Compiled bitmask kernel vs the retained legacy path.
+"""Compiled bitmask kernel vs the retained legacy path, and backend tiers.
 
-Two acceptance measurements, both asserting exact result equality before
+Acceptance measurements, each asserting exact result equality before
 comparing wall-clock:
 
 * **dictionary build** — the 8x8 ``max_cardinality=2`` stuck-at dictionary
@@ -9,6 +9,15 @@ comparing wall-clock:
 * **campaign throughput** — full-suite application over hundreds of random
   double-fault chips, object-engine ``Tester.run`` per chip vs one batched
   kernel evaluation (compile included).  Floor: >=3x.
+* **backend tiers** — the 16x16 (and, under ``REPRO_BENCH_FULL=1``, 20x20)
+  card-2 dictionary build per registry backend, tables asserted identical
+  across tiers.  Floor: tile >= 1.5x over the single-word sweep (1.3x in
+  smoke mode); optional jit/gpu tiers are recorded when their dependency
+  is present and noted absent otherwise — never a failure.
+* **scalar micro-benchmark** — the hoisted allocation-free single-query
+  BFS (adaptive diagnosis's cost profile), pinned against an absolute
+  queries/s floor plus a never-slower-than-the-allocating-formulation
+  ratio.
 
 Results are also written to ``BENCH_kernel.json`` (override with
 ``REPRO_BENCH_JSON``) so the perf trajectory is tracked across PRs;
@@ -21,8 +30,12 @@ import json
 import os
 import random
 import time
+from collections import deque
 
-from benchmarks.conftest import BENCH_JSON, SMOKE, pedantic_once
+import pytest
+
+from benchmarks.conftest import BENCH_JSON, FULL, SMOKE, pedantic_once
+from repro.context import ExecutionContext
 from repro.core import generate_suite
 from repro.engine import get_scenario
 from repro.fpva import full_layout
@@ -31,14 +44,31 @@ from repro.sim import (
     ChipUnderTest,
     CompiledFaultSet,
     FaultDictionary,
+    ReachabilityKernel,
     Tester,
 )
+from repro.sim.backends import availability
 from repro.sim.faults import stuck_at_faults
 
 SIZE = 6 if SMOKE else 8
 DICT_MIN_SPEEDUP = 3.0 if SMOKE else 5.0
 CAMPAIGN_MIN_SPEEDUP = 2.0 if SMOKE else 3.0
 CAMPAIGN_TRIALS = 80 if SMOKE else 300
+
+#: Backend-tier bench: arrays large enough that the word sweep's diameter
+#: term dominates (the regime the tile backend removes).  20x20 joins
+#: under REPRO_BENCH_FULL=1.
+BACKEND_SIZES = (16, 20) if FULL else (16,)
+BACKEND_SAMPLE = 60 if SMOKE else 150
+TILE_MIN_SPEEDUP = 1.3 if SMOKE else 1.5
+
+#: Scalar pin: ~30ms per rep, so the query count stays fixed even in
+#: smoke mode — fewer queries only adds timing noise, not speed.
+SCALAR_QUERIES = 2000
+SCALAR_MIN_QPS = 20_000.0
+#: Measured ~1.0-1.2x; floored at 0.8 so shared-runner scheduling noise
+#: cannot fail a genuinely-hoisted build.
+SCALAR_MIN_RATIO = 0.8
 
 
 def _record(section: str, payload: dict) -> None:
@@ -51,7 +81,12 @@ def _record(section: str, payload: dict) -> None:
         except (OSError, ValueError):
             data = {}
     data[section] = payload
-    data["config"] = {"size": SIZE, "smoke": SMOKE}
+    data["config"] = {
+        "size": SIZE,
+        "smoke": SMOKE,
+        "backend_sizes": list(BACKEND_SIZES),
+        "backend_availability": availability(),
+    }
     with open(BENCH_JSON, "w") as fh:
         json.dump(data, fh, indent=2, sort_keys=True)
         fh.write("\n")
@@ -60,12 +95,20 @@ def _record(section: str, payload: dict) -> None:
 def _bench_dictionary(fpva, vectors, universe):
     t0 = time.perf_counter()
     legacy = FaultDictionary(
-        fpva, vectors, universe=universe, max_cardinality=2, backend="legacy"
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=2,
+        context=ExecutionContext(fpva, engine="object"),
     )
     t_legacy = time.perf_counter() - t0
     t0 = time.perf_counter()
     kernel = FaultDictionary(
-        fpva, vectors, universe=universe, max_cardinality=2, backend="kernel"
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=2,
+        context=ExecutionContext(fpva),
     )
     t_kernel = time.perf_counter() - t0
     assert list(kernel._table.items()) == list(legacy._table.items())
@@ -159,3 +202,149 @@ def test_campaign_throughput_speedup(benchmark, capsys):
             f"chips/s -> {stats['speedup']:.1f}x"
         )
     assert stats["speedup"] >= CAMPAIGN_MIN_SPEEDUP, stats
+
+
+def _bench_backend_tiers(fpva, vectors, sample):
+    """Card-2 dictionary build per registry backend; tables must agree.
+
+    Each tier gets a fresh session (its own kernel compile + backend
+    attach), so the timed region covers exactly what a user selecting
+    that tier pays — including the tile backend's elimination-plan
+    compile.  Optional tiers without their dependency are recorded as
+    absent, never failed.
+    """
+    stats: dict = {}
+    tables = {}
+    for name, why in availability().items():
+        if why is not None:
+            stats[name] = {"available": False, "reason": why}
+            continue
+        context = ExecutionContext(fpva, kernel_backend=name)
+        t0 = time.perf_counter()
+        built = FaultDictionary(
+            fpva,
+            vectors,
+            universe=sample,
+            max_cardinality=2,
+            context=context,
+        )
+        seconds = time.perf_counter() - t0
+        tables[name] = list(built._table.items())
+        stats[name] = {
+            "available": True,
+            "seconds": seconds,
+            "fault_sets": sum(len(v) for v in built._table.values()),
+        }
+    for name, table in tables.items():
+        assert table == tables["word"], f"backend {name!r} diverges from word"
+    stats["tile_speedup_vs_word"] = (
+        stats["word"]["seconds"] / stats["tile"]["seconds"]
+    )
+    return stats
+
+
+@pytest.mark.parametrize("size", BACKEND_SIZES)
+def test_backend_tier_floors(benchmark, capsys, size):
+    """Acceptance: tile >=1.5x over the word sweep on the card-2 build."""
+    fpva = full_layout(size, size, name=f"backend-bench-{size}x{size}")
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)
+    sample = random.Random(42).sample(
+        universe, min(BACKEND_SAMPLE, len(universe))
+    )
+    stats = pedantic_once(benchmark, _bench_backend_tiers, fpva, vectors, sample)
+    benchmark.extra_info.update(stats)
+    _record(f"backend_tiers_{size}x{size}_card2", stats)
+    with capsys.disabled():
+        per_tier = ", ".join(
+            f"{name} {tier['seconds']:.2f}s"
+            if tier.get("available")
+            else f"{name} absent"
+            for name, tier in stats.items()
+            if isinstance(tier, dict)
+        )
+        print(
+            f"\n{size}x{size} card-2 backend tiers ({len(sample)} faults x "
+            f"{len(vectors)} vectors): {per_tier} -> tile "
+            f"{stats['tile_speedup_vs_word']:.2f}x over word"
+        )
+    assert stats["tile_speedup_vs_word"] >= TILE_MIN_SPEEDUP, stats
+
+
+def _alloc_readings_reference(kernel, open_mask, blocked_mask=0):
+    """The pre-hoist scalar BFS: fresh deque + bytearray per query."""
+    n_sinks = kernel.n_sinks
+    hits = [False] * n_sinks
+    seen = bytearray(kernel.n_nodes)
+    queue = deque()
+    for s in kernel._source_idx:
+        seen[s] = 1
+        queue.append(s)
+    out = kernel._out
+    sink_pos = kernel._sink_pos
+    found = 0
+    while queue and found < n_sinks:
+        for w, vi, ei in out[queue.popleft()]:
+            if seen[w]:
+                continue
+            if vi >= 0 and not (open_mask >> vi) & 1:
+                continue
+            if blocked_mask and ei >= 0 and (blocked_mask >> ei) & 1:
+                continue
+            seen[w] = 1
+            sp = sink_pos[w]
+            if sp >= 0:
+                hits[sp] = True
+                found += 1
+            queue.append(w)
+    return dict(zip(kernel.sink_names, hits))
+
+
+def _bench_scalar_readings(kernel, masks):
+    def best_of(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            for mask in masks:
+                fn(mask)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    for mask in masks[:100]:  # exactness before wall-clock, as everywhere
+        assert kernel._scalar_readings(mask) == _alloc_readings_reference(
+            kernel, mask
+        )
+    t_hoisted = best_of(lambda m: kernel._scalar_readings(m))
+    t_alloc = best_of(lambda m: _alloc_readings_reference(kernel, m))
+    return {
+        "queries": len(masks),
+        "hoisted_queries_per_second": len(masks) / t_hoisted,
+        "alloc_queries_per_second": len(masks) / t_alloc,
+        "hoisted_vs_alloc": t_alloc / t_hoisted,
+    }
+
+
+def test_scalar_readings_microbench(benchmark, capsys):
+    """Satellite pin: the hoisted scalar path stays fast and stays hoisted.
+
+    Two assertions: an absolute queries/s floor with ~5x headroom (catches
+    an accidental reroute through the batched numpy path outright), and a
+    hoisted-vs-allocating ratio floor (catches the hoist regressing below
+    the formulation it replaced).
+    """
+    fpva = full_layout(8, 8, name="scalar-bench-8x8")
+    kernel = ReachabilityKernel(fpva)
+    rng = random.Random(1)
+    masks = [rng.getrandbits(kernel.n_valves) for _ in range(SCALAR_QUERIES)]
+    stats = pedantic_once(benchmark, _bench_scalar_readings, kernel, masks)
+    benchmark.extra_info.update(stats)
+    _record("scalar_readings_8x8", stats)
+    with capsys.disabled():
+        print(
+            f"\n8x8 scalar readings: hoisted "
+            f"{stats['hoisted_queries_per_second']:.0f} q/s vs allocating "
+            f"{stats['alloc_queries_per_second']:.0f} q/s "
+            f"-> {stats['hoisted_vs_alloc']:.2f}x"
+        )
+    assert stats["hoisted_queries_per_second"] >= SCALAR_MIN_QPS, stats
+    assert stats["hoisted_vs_alloc"] >= SCALAR_MIN_RATIO, stats

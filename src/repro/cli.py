@@ -63,6 +63,19 @@ def _context(args, fpva=None) -> ExecutionContext:
         fpva if fpva is not None else _layout(args),
         cache_dir=getattr(args, "cache_dir", None),
         seed=getattr(args, "seed", 0),
+        kernel_backend=getattr(args, "kernel_backend", None),
+    )
+
+
+def _add_backend_arg(p):
+    from repro.sim.backends import backend_names
+
+    p.add_argument(
+        "--kernel-backend",
+        choices=backend_names(),
+        default=None,
+        help="kernel propagation tier (default: tile, or "
+        "$REPRO_KERNEL_BACKEND; unavailable tiers warn and fall back)",
     )
 
 
@@ -267,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; generation warm-loads the compiled "
                         "kernel from here (see `warm --table1`)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("table1", help="regenerate the paper's Table I")
@@ -275,6 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; each row warm-loads its compiled "
                         "kernel from here (see `warm --table1`)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_table1)
 
     p = sub.add_parser("show", help="render an array as ASCII")
@@ -295,6 +310,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; workers load the compiled kernel "
                         "from here instead of unpickling one per shard")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("diagnose", help="inject faults and localize them")
@@ -312,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; warm-starts the fault dictionary "
                         "when a matching artifact exists (see `warm`)")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser(
@@ -329,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--table1", action="store_true",
                    help="instead: prebuild/report the kernel artifacts for "
                         "every Table I generation layout")
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_warm)
     return parser
 

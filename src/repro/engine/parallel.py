@@ -42,17 +42,21 @@ SHARD_TRIALS = 50
 _KERNEL_MEMO: dict[str, ReachabilityKernel] = {}
 
 
-def _resolve_shipping(fpva, backend: str, cache_dir, context):
-    """Normalize (legacy kwargs | context) to ``(backend, kernel_spec)``.
+def _resolve_shipping(fpva, backend: str | None, cache_dir, context):
+    """Normalize (legacy kwargs | context) to
+    ``(backend, kernel_spec, kernel_backend)``.
 
     The kernel spec is what rides in shard payloads: ``None`` for the
     legacy backend, the compiled kernel object without a cache, or the
-    persisted artifact's path (a string) with one.  A context supplies
-    its session kernel and artifact store; the pre-context ``backend=``/
-    ``cache_dir=`` keywords remain as deprecation shims for one release.
+    persisted artifact's path (a string) with one.  ``kernel_backend`` is
+    the propagation-tier *name* — the stored artifact is backend-agnostic,
+    so each worker re-attaches the tier to its memoized kernel (a no-op
+    after the first shard).  A context supplies its session kernel, store
+    and tier; the pre-context ``backend=``/``cache_dir=`` keywords remain
+    as deprecation shims for one release and warn when passed.
     """
     if context is not None:
-        if backend != "kernel" or cache_dir is not None:
+        if backend is not None or cache_dir is not None:
             raise ValueError(
                 "pass either context= or the legacy backend=/cache_dir= "
                 "arguments, not both"
@@ -61,9 +65,9 @@ def _resolve_shipping(fpva, backend: str, cache_dir, context):
 
         context = ExecutionContext.resolve(context, fpva)
         if not context.batched:
-            return "legacy", None
+            return "legacy", None, None
         if context.store is None:
-            return "kernel", context.kernel
+            return "kernel", context.kernel, context.kernel_backend
         store = context.store
         # Materialize first: a cold compile persists itself through the
         # session store, so the has() check below only catches a kernel
@@ -71,17 +75,22 @@ def _resolve_shipping(fpva, backend: str, cache_dir, context):
         kernel = context.kernel
         if not store.kernels.has(fpva):
             store.kernels.save(kernel)
-        return "kernel", str(store.kernels.path_for(fpva))
-    if backend != "kernel":
-        return backend, None
+        return "kernel", str(store.kernels.path_for(fpva)), context.kernel_backend
+    kernel_backend = None
+    if backend is not None:
+        from repro.sim.backends import resolve_legacy_engine
+
+        engine, kernel_backend = resolve_legacy_engine(backend, "sweep")
+        if engine == "object":
+            return "legacy", None, None
     if cache_dir is None:
-        return backend, ReachabilityKernel(fpva)
+        return "kernel", ReachabilityKernel(fpva), kernel_backend
     from repro.store import ArtifactStore
 
     store = ArtifactStore(cache_dir)
     if not store.kernels.has(fpva):
         store.kernels.save(ReachabilityKernel(fpva))
-    return backend, str(store.kernels.path_for(fpva))
+    return "kernel", str(store.kernels.path_for(fpva)), kernel_backend
 
 
 def _resolve_kernel(fpva, kernel):
@@ -104,8 +113,16 @@ def _resolve_kernel(fpva, kernel):
 
 def _run_shard(payload) -> CampaignResult:
     (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
-     keep_undetected, scenario, backend, kernel) = payload
+     keep_undetected, scenario, backend, kernel, kernel_backend) = payload
     fpva, kernel = _resolve_kernel(fpva, kernel)
+    from repro.context import ExecutionContext
+
+    if backend == "legacy":
+        shard_context = ExecutionContext(fpva, engine="object")
+    else:
+        shard_context = ExecutionContext(
+            fpva, kernel=kernel, kernel_backend=kernel_backend
+        )
     return _run_serial(
         fpva,
         vectors,
@@ -115,8 +132,7 @@ def _run_shard(payload) -> CampaignResult:
         include_control_leaks=include_control_leaks,
         keep_undetected=keep_undetected,
         scenario=scenario,
-        backend=backend,
-        kernel=kernel,
+        context=shard_context,
     )
 
 
@@ -132,6 +148,7 @@ def _shard_payloads(
     shard_trials,
     backend,
     kernel,
+    kernel_backend,
 ):
     payloads = []
     shard = 0
@@ -150,6 +167,7 @@ def _shard_payloads(
                 scenario,
                 backend,
                 kernel,
+                kernel_backend,
             )
         )
         remaining -= size
@@ -181,15 +199,17 @@ def run_campaign(
     keep_undetected: int = 10,
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
-    backend: str = "kernel",
+    backend: str | None = None,
     cache_dir: str | os.PathLike | None = None,
     context=None,
 ) -> CampaignResult:
     """Sharded campaign; result is independent of ``workers`` *and* of
     whether the kernel ships by artifact path or by pickle.  ``context``
-    supplies the session kernel/store; the ``backend=``/``cache_dir=``
-    keywords remain as deprecation shims for one release."""
-    backend, kernel = _resolve_shipping(fpva, backend, cache_dir, context)
+    supplies the session kernel/store/backend tier; the ``backend=``/
+    ``cache_dir=`` keywords remain as deprecation shims for one release."""
+    backend, kernel, kernel_backend = _resolve_shipping(
+        fpva, backend, cache_dir, context
+    )
     payloads = _shard_payloads(
         fpva,
         vectors,
@@ -202,6 +222,7 @@ def run_campaign(
         shard_trials,
         backend,
         kernel,
+        kernel_backend,
     )
     if workers <= 1 or len(payloads) <= 1:
         shards = [_run_shard(p) for p in payloads]
@@ -222,7 +243,7 @@ def run_sweep(
     keep_undetected: int = 10,
     scenario=None,
     shard_trials: int = SHARD_TRIALS,
-    backend: str = "kernel",
+    backend: str | None = None,
     cache_dir: str | os.PathLike | None = None,
     context=None,
 ) -> dict[int, CampaignResult]:
@@ -234,7 +255,9 @@ def run_sweep(
     mixed in by the finalizer, so no ``seed + k`` arithmetic (whose streams
     collide across sweeps) ever touches the seed.
     """
-    backend, kernel = _resolve_shipping(fpva, backend, cache_dir, context)
+    backend, kernel, kernel_backend = _resolve_shipping(
+        fpva, backend, cache_dir, context
+    )
     tagged: list[tuple[int, tuple]] = []
     for k in fault_counts:
         for payload in _shard_payloads(
@@ -249,6 +272,7 @@ def run_sweep(
             shard_trials,
             backend,
             kernel,
+            kernel_backend,
         ):
             tagged.append((k, payload))
     if workers <= 1 or len(tagged) <= 1:

@@ -1,0 +1,124 @@
+"""GPU backend: cupy word sweeps for very wide dictionary builds.
+
+A dictionary build at 16x16+ propagates hundreds of thousands of packed
+scenario words; the arithmetic is pure gather / AND / OR, which maps
+directly onto a GPU.  This tier mirrors the word backend's fixpoint sweep
+with two device-side adaptations:
+
+* the destination-sorted segment reduction is expressed as a **padded
+  gather** — a static ``(n_nodes, max_indegree)`` arc-index matrix (extra
+  slots point at a sentinel all-zero row) followed by
+  ``bitwise_or.reduce`` along the padding axis, because ``reduceat`` is
+  not portable across cupy versions;
+* convergence is tested on-device and synced once per sweep.
+
+cupy (and a visible CUDA device) is an **optional** dependency: the
+registry probe reports the reason when either is missing and tests skip
+cleanly.  Device state is never pickled — a kernel shipped to campaign
+workers re-uploads its arrays on first use in each process.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.backends.base import BackendUnavailable, KernelBackend
+
+try:  # pragma: no cover - exercised only where cupy is installed
+    import cupy as cp
+except ImportError:  # pragma: no cover - the no-cupy environment
+    cp = None
+
+
+def probe() -> str | None:
+    """``None`` when the tier can run, else the human-readable reason."""
+    if cp is None:
+        return "cupy is not installed"
+    try:  # pragma: no cover - requires CUDA hardware
+        if cp.cuda.runtime.getDeviceCount() < 1:
+            return "no CUDA device is visible"
+    except Exception as exc:  # pragma: no cover - driver/runtime failures
+        return f"CUDA runtime unavailable ({exc})"
+    return None  # pragma: no cover - requires CUDA hardware
+
+
+class GpuBackend(KernelBackend):  # pragma: no cover - requires CUDA hardware
+    """Padded-gather word sweeps on a CUDA device via cupy."""
+
+    name = "gpu"
+
+    def __init__(self, kernel):
+        reason = probe()
+        if reason is not None:
+            raise BackendUnavailable(reason)
+        super().__init__(kernel)
+        self._device = None  # uploaded lazily, never pickled
+
+    def _upload(self):
+        """Static device arrays: arc table plus the padded gather index."""
+        if self._device is not None:
+            return self._device
+        kernel = self.kernel
+        n_arcs = len(kernel._arc_src)
+        starts = np.r_[np.asarray(kernel._dst_starts), n_arcs]
+        indegree = np.diff(starts)
+        max_deg = int(indegree.max()) if len(indegree) else 1
+        # Pad each destination's arc list with the sentinel arc id n_arcs,
+        # whose spread row is pinned to zero words.
+        pad = np.full((len(indegree), max_deg), n_arcs, dtype=np.int64)
+        for i, (lo, deg) in enumerate(zip(starts[:-1], indegree)):
+            pad[i, :deg] = np.arange(lo, lo + deg)
+        self._device = {
+            "arc_src": cp.asarray(np.asarray(kernel._arc_src, dtype=np.int64)),
+            "dst_nodes": cp.asarray(np.asarray(kernel._dst_nodes, dtype=np.int64)),
+            "pad": cp.asarray(pad),
+            "valve_arcs": cp.asarray(kernel._valve_arcs),
+            "valve_arc_ids": cp.asarray(kernel._valve_arc_ids),
+            "edge_arcs": cp.asarray(kernel._edge_arcs),
+            "edge_arc_ids": cp.asarray(kernel._edge_arc_ids),
+        }
+        return self._device
+
+    def reach_words(
+        self,
+        valve_words: np.ndarray,
+        blocked_words: np.ndarray | None,
+        words: int,
+        rows: np.ndarray | None = None,
+        tile_words: int | None = None,
+    ) -> np.ndarray:
+        kernel = self.kernel
+        full = ~np.uint64(0)
+        if not len(kernel._arc_src):
+            reach = np.zeros((kernel.n_nodes, words), dtype=np.uint64)
+            reach[list(kernel._source_idx)] = full
+            return reach if rows is None else reach[rows]
+        dev = self._upload()
+        arc_open = cp.full(
+            (len(kernel._arc_src), words), full, dtype=cp.uint64
+        )
+        arc_open[dev["valve_arcs"]] = cp.asarray(valve_words)[dev["valve_arc_ids"]]
+        if blocked_words is not None:
+            arc_open[dev["edge_arcs"]] &= ~cp.asarray(blocked_words)[
+                dev["edge_arc_ids"]
+            ]
+        reach = cp.zeros((kernel.n_nodes, words), dtype=cp.uint64)
+        reach[list(kernel._source_idx)] = full
+        # Sentinel row: padded gather slots contribute zero to the OR.
+        zero_row = cp.zeros((1, words), dtype=cp.uint64)
+        src, pad, dst = dev["arc_src"], dev["pad"], dev["dst_nodes"]
+        while True:
+            spread = reach[src] & arc_open
+            spread = cp.concatenate([spread, zero_row], axis=0)
+            agg = cp.bitwise_or.reduce(spread[pad], axis=1)
+            merged = reach[dst] | agg
+            if bool((merged == reach[dst]).all()):
+                break
+            reach[dst] = merged
+        host = cp.asnumpy(reach)
+        return host if rows is None else host[rows]
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_device"] = None
+        return state

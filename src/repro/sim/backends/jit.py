@@ -1,0 +1,233 @@
+"""JIT backend: numba-compiled scalar BFS and frontier sweeps.
+
+Adaptive diagnosis applies one vector at a time — every simulation is a
+size-1 batch — so its cost profile is pure per-query Python overhead:
+int-mask bit tests, deque churn, tuple unpacking.  This tier compiles the
+scalar single-query BFS and the batched inner frontier sweep with numba's
+``@njit``; the data model is unchanged (same CSR arrays, same masks), so
+results stay bit-identical to the word sweep.
+
+numba is an **optional** dependency: the module imports without it (the
+registry probe reports the reason and selection falls back), and the
+jitted functions live at module level so a kernel carrying this backend
+still pickles by reference.  Masks cross the boundary as little-endian
+``uint8`` bit arrays rather than arbitrary-precision ints, which numba
+cannot represent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.backends.base import BackendUnavailable, KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the no-numba environment
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Stand-in so the module (and its docs/tests) import cleanly."""
+        if args and callable(args[0]):
+            return args[0]
+        return lambda fn: fn
+
+
+def probe() -> str | None:
+    """``None`` when the tier can run, else the human-readable reason."""
+    if not NUMBA_AVAILABLE:
+        return "numba is not installed"
+    return None
+
+
+@njit(cache=True)
+def _bfs_scalar(
+    out_starts, out_nbr, out_valve, out_edge,
+    sources, sink_pos, n_sinks,
+    open_bits, blocked_bits, has_blocked,
+    seen, queue, hits, early_exit,
+):  # pragma: no cover - compiled path, exercised via the jit CI leg
+    """One-scenario BFS over the CSR out-adjacency; resets ``seen`` itself.
+
+    ``open_bits``/``blocked_bits`` are per-valve / per-edge uint8 flags.
+    Returns the number of visited nodes left in ``queue`` (diagnostics).
+    """
+    head = 0
+    tail = 0
+    found = 0
+    for i in range(sources.shape[0]):
+        s = sources[i]
+        seen[s] = 1
+        queue[tail] = s
+        tail += 1
+    while head < tail and (not early_exit or found < n_sinks):
+        u = queue[head]
+        head += 1
+        for j in range(out_starts[u], out_starts[u + 1]):
+            w = out_nbr[j]
+            if seen[w]:
+                continue
+            vi = out_valve[j]
+            if vi >= 0 and open_bits[vi] == 0:
+                continue
+            if has_blocked:
+                ei = out_edge[j]
+                if ei >= 0 and blocked_bits[ei] != 0:
+                    continue
+            seen[w] = 1
+            sp = sink_pos[w]
+            if sp >= 0:
+                hits[sp] = 1
+                found += 1
+            queue[tail] = w
+            tail += 1
+    for i in range(tail):
+        seen[queue[i]] = 0
+    return tail
+
+
+@njit(cache=True)
+def _sweep_words(
+    arc_src, dst_starts, dst_nodes, n_arcs, arc_open, reach
+):  # pragma: no cover - compiled path, exercised via the jit CI leg
+    """Frontier sweep to fixpoint, one word column at a time.
+
+    Per-column Gauss–Seidel: updates are visible within a sweep, which
+    only accelerates convergence toward the same (unique, monotone)
+    fixpoint the level-synchronous word sweep reaches.
+    """
+    n_seg = dst_starts.shape[0]
+    words = arc_open.shape[1]
+    for w in range(words):
+        changed = True
+        while changed:
+            changed = False
+            for s in range(n_seg):
+                end = dst_starts[s + 1] if s + 1 < n_seg else n_arcs
+                acc = np.uint64(0)
+                for a in range(dst_starts[s], end):
+                    acc |= reach[arc_src[a], w] & arc_open[a, w]
+                d = dst_nodes[s]
+                merged = reach[d, w] | acc
+                if merged != reach[d, w]:
+                    reach[d, w] = merged
+                    changed = True
+
+
+class JitBackend(KernelBackend):
+    """numba-compiled scalar queries plus a compiled batched sweep."""
+
+    name = "jit"
+
+    def __init__(self, kernel):
+        reason = probe()
+        if reason is not None:
+            raise BackendUnavailable(reason)
+        super().__init__(kernel)
+        # Flatten the scalar-path tuple adjacency to CSR arrays once.
+        degrees = [len(nbrs) for nbrs in kernel._out]
+        self._out_starts = np.cumsum([0] + degrees).astype(np.int64)
+        flat = [entry for nbrs in kernel._out for entry in nbrs]
+        self._out_nbr = np.array([e[0] for e in flat], dtype=np.int64)
+        self._out_valve = np.array([e[1] for e in flat], dtype=np.int64)
+        self._out_edge = np.array([e[2] for e in flat], dtype=np.int64)
+        self._sources = np.array(kernel._source_idx, dtype=np.int64)
+        self._sink_pos = np.array(kernel._sink_pos, dtype=np.int64)
+        self._seen = np.zeros(kernel.n_nodes, dtype=np.uint8)
+        self._queue = np.zeros(max(kernel.n_nodes, 1), dtype=np.int64)
+
+    # -- mask marshalling ---------------------------------------------------
+    def _bits(self, mask: int, count: int) -> np.ndarray:
+        stride = (count + 7) // 8 or 1
+        return np.unpackbits(
+            np.frombuffer(mask.to_bytes(stride, "little"), np.uint8),
+            bitorder="little", count=count,
+        )
+
+    _EMPTY_BITS = np.zeros(0, dtype=np.uint8)
+
+    def _run_scalar(
+        self, open_mask: int, blocked_mask: int, early_exit: bool
+    ) -> tuple[np.ndarray, int]:
+        kernel = self.kernel
+        open_bits = self._bits(open_mask, kernel.n_valves)
+        if blocked_mask:
+            blocked_bits = self._bits(blocked_mask, kernel.n_edges)
+            has_blocked = True
+        else:
+            blocked_bits = self._EMPTY_BITS
+            has_blocked = False
+        hits = np.zeros(kernel.n_sinks, dtype=np.uint8)
+        visited = _bfs_scalar(
+            self._out_starts, self._out_nbr, self._out_valve, self._out_edge,
+            self._sources, self._sink_pos, kernel.n_sinks,
+            open_bits, blocked_bits, has_blocked,
+            self._seen, self._queue, hits, early_exit,
+        )
+        return hits, visited
+
+    # -- scalar tier --------------------------------------------------------
+    def readings(self, open_mask: int, blocked_mask: int = 0) -> dict[str, bool]:
+        hits, _ = self._run_scalar(open_mask, blocked_mask, early_exit=True)
+        return {
+            name: bool(hits[j])
+            for j, name in enumerate(self.kernel.sink_names)
+        }
+
+    def reach_mask(self, open_mask: int, blocked_mask: int = 0) -> bytearray:
+        kernel = self.kernel
+        # No early exit: callers want every reached node, not just sinks.
+        reached = bytearray(kernel.n_nodes)
+        hits = np.zeros(kernel.n_sinks, dtype=np.uint8)
+        open_bits = self._bits(open_mask, kernel.n_valves)
+        blocked_bits = (
+            self._bits(blocked_mask, kernel.n_edges)
+            if blocked_mask else self._EMPTY_BITS
+        )
+        visited = _bfs_scalar(
+            self._out_starts, self._out_nbr, self._out_valve, self._out_edge,
+            self._sources, self._sink_pos, kernel.n_sinks,
+            open_bits, blocked_bits, bool(blocked_mask),
+            self._seen, self._queue, hits, False,
+        )
+        for i in range(visited):
+            reached[int(self._queue[i])] = 1
+        return reached
+
+    # -- batched tier -------------------------------------------------------
+    def reach_words(
+        self,
+        valve_words: np.ndarray,
+        blocked_words: np.ndarray | None,
+        words: int,
+        rows: np.ndarray | None = None,
+        tile_words: int | None = None,
+    ) -> np.ndarray:
+        kernel = self.kernel
+        full = ~np.uint64(0)
+        arc_open = np.full((len(kernel._arc_src), words), full, dtype=np.uint64)
+        arc_open[kernel._valve_arcs] = valve_words[kernel._valve_arc_ids]
+        if blocked_words is not None:
+            arc_open[kernel._edge_arcs] &= ~blocked_words[kernel._edge_arc_ids]
+        reach = np.zeros((kernel.n_nodes, words), dtype=np.uint64)
+        reach[list(kernel._source_idx)] = full
+        if len(kernel._arc_src):
+            _sweep_words(
+                np.asarray(kernel._arc_src, dtype=np.int64),
+                np.asarray(kernel._dst_starts, dtype=np.int64),
+                np.asarray(kernel._dst_nodes, dtype=np.int64),
+                len(kernel._arc_src),
+                arc_open,
+                reach,
+            )
+        return reach if rows is None else reach[rows]
+
+    def __getstate__(self):
+        # The seen/queue scratch buffers are per-process scratch; shipping
+        # them is harmless but they must not be shared after unpickling.
+        state = self.__dict__.copy()
+        state["_seen"] = np.zeros_like(self._seen)
+        state["_queue"] = np.zeros_like(self._queue)
+        return state

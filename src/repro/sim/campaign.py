@@ -59,27 +59,40 @@ def sample_fault_set(
     raise RuntimeError(f"could not sample {k} compatible faults")
 
 
-def _resolve_context(fpva, context, backend: str, kernel):
+def _resolve_context(fpva, context, backend: str | None, kernel):
     """Coerce the legacy ``backend=``/``kernel=`` plumbing to a session.
 
     The old keyword arguments stay accepted as thin deprecation shims (one
-    release): they simply parameterize a fresh private
-    :class:`~repro.context.ExecutionContext`.  Passing them *alongside* an
-    explicit context is a contradiction and raises.
+    release): explicitly passing either warns through the registry's
+    single deprecation path and parameterizes a fresh private
+    :class:`~repro.context.ExecutionContext` (``backend="kernel"`` routes
+    to the registry's default tier, ``"legacy"`` to the object engine).
+    Passing them *alongside* an explicit context is a contradiction and
+    raises.
     """
     from repro.context import ExecutionContext  # late: context sits above sim
 
     if context is not None:
-        if backend != "kernel" or kernel is not None:
+        if backend is not None or kernel is not None:
             raise ValueError(
                 "pass either context= or the legacy backend=/kernel= "
                 "arguments, not both"
             )
         return ExecutionContext.resolve(context, fpva)
-    if backend not in ("kernel", "legacy"):
-        raise ValueError(f"unknown campaign backend {backend!r}")
-    engine = "kernel" if backend == "kernel" else "object"
-    return ExecutionContext(fpva, engine=engine, kernel=kernel)
+    if backend is None and kernel is None:
+        return ExecutionContext(fpva)
+    from repro.sim.backends import resolve_legacy_engine, warn_deprecated
+
+    engine, kernel_backend = "kernel", None
+    if backend is not None:
+        engine, kernel_backend = resolve_legacy_engine(backend, "campaign")
+    if kernel is not None:
+        warn_deprecated(
+            "campaign kernel=", "context=ExecutionContext(fpva, kernel=...)"
+        )
+    return ExecutionContext(
+        fpva, engine=engine, kernel=kernel, kernel_backend=kernel_backend
+    )
 
 
 def run_campaign(
@@ -91,7 +104,7 @@ def run_campaign(
     include_control_leaks: bool = True,
     keep_undetected: int = 10,
     scenario=None,
-    backend: str = "kernel",
+    backend: str | None = None,
     kernel=None,
     context=None,
 ) -> CampaignResult:
@@ -188,7 +201,7 @@ def run_sweep(
     seed: int = 0,
     include_control_leaks: bool = True,
     scenario=None,
-    backend: str = "kernel",
+    backend: str | None = None,
     kernel=None,
     context=None,
 ) -> dict[int, CampaignResult]:

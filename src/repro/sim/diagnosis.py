@@ -121,7 +121,7 @@ class FaultDictionary:
         include_control_leaks: bool = True,
         max_cardinality: int = 1,
         universe: Sequence[Fault] | None = None,
-        backend: str = "kernel",
+        backend: str | None = None,
         kernel: ReachabilityKernel | None = None,
         store=None,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
@@ -129,8 +129,6 @@ class FaultDictionary:
     ):
         if max_cardinality not in (1, 2):
             raise ValueError("dictionary supports single and double faults")
-        if backend not in ("kernel", "legacy"):
-            raise ValueError(f"unknown dictionary backend {backend!r}")
         if chunk_size < 1:
             raise ValueError("chunk_size must be positive")
         from repro.store import as_store  # late: store sits above sim
@@ -138,7 +136,7 @@ class FaultDictionary:
         if context is not None:
             from repro.context import ExecutionContext
 
-            if backend != "kernel" or kernel is not None:
+            if backend is not None or kernel is not None:
                 raise ValueError(
                     "pass either context= or the legacy backend=/kernel= "
                     "arguments, not both"
@@ -155,6 +153,21 @@ class FaultDictionary:
                     "pass either context= (with its store) or store=, "
                     "not both"
                 )
+        elif backend is not None or kernel is not None:
+            from repro.sim.backends import resolve_legacy_engine, warn_deprecated
+
+            if backend is not None:
+                engine, _ = resolve_legacy_engine(backend, "dictionary")
+                backend = "kernel" if engine == "kernel" else "legacy"
+            else:
+                backend = "kernel"
+            if kernel is not None:
+                warn_deprecated(
+                    "dictionary kernel=",
+                    "context=ExecutionContext(fpva, kernel=...)",
+                )
+        else:
+            backend = "kernel"
         self._context = context
         self.fpva = fpva
         self.vectors = list(vectors)

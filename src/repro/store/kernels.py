@@ -7,6 +7,12 @@ kernel is bit-identical to a cold compile, and the sharded campaign runner
 can ship a *path* to worker processes instead of a pickled kernel per
 shard payload.
 
+Artifacts are **backend-agnostic**: only the arc table is persisted,
+never a propagation backend or its compiled schedule, so one stored
+kernel loads into any :mod:`repro.sim.backends` tier (word, tile, jit,
+gpu) and replays bit-identical readings — sessions attach their tier
+after load.
+
 Writes are atomic (temp file + ``os.replace``) so a crashed build never
 leaves a half-written artifact addressable.
 """

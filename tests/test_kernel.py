@@ -29,6 +29,42 @@ from repro.sim import (
     ReachabilityKernel,
 )
 from repro.sim.campaign import run_campaign
+from repro.sim.kernel import _pack_words, _unpack_words
+
+
+class TestPackRoundTrip:
+    """Satellite: the packbits fast path is an exact bool<->word bijection."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        cols=st.integers(1, 5),
+        batch=st.integers(1, 200),
+        fill=st.sampled_from(["random", "zeros", "ones"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_roundtrip(self, cols, batch, fill, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        if fill == "random":
+            bools = rng.random((batch, cols)) < 0.5
+        else:
+            bools = np.full((batch, cols), fill == "ones", dtype=bool)
+        words = _pack_words(bools)
+        assert words.shape == (cols, (batch + 63) // 64)
+        assert words.dtype == np.uint64
+        assert np.array_equal(_unpack_words(words, batch), bools)
+
+    def test_tail_word_padding_is_zero(self):
+        """Bits past the batch in the last word must stay clear — the
+        propagation sweep ORs whole words, so tail garbage would leak
+        between scenarios."""
+        import numpy as np
+
+        bools = np.ones((65, 3), dtype=bool)  # 2 words, 63 pad bits
+        words = _pack_words(bools)
+        assert words.shape == (3, 2)
+        assert (words[:, 1] == np.uint64(1)).all()
 
 
 def _random_vectors(fpva, rng, count=8):
