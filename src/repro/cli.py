@@ -19,6 +19,12 @@ Commands
               trials over a process pool (same results, less wall-clock);
               ``--scenario NAME`` swaps the fault workload; ``--cache-dir``
               ships the compiled kernel to workers by artifact path.
+              ``--journal-dir`` reroutes the identical shard structure
+              through the campaign fabric: completed shards publish
+              durably, a killed run resumes from the last published shard
+              (``--resume`` insists a journal exists), ``--scheduler``
+              picks the shard assignment, ``--json`` saves the merged
+              sweep — bit-identical to the in-memory path either way.
 ``diagnose``  Inject random faults and localize them with the dictionary —
               ``--adaptive`` schedules vectors one at a time by information
               gain instead of applying the whole suite; ``--cache-dir``
@@ -33,6 +39,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 import time
@@ -131,26 +138,63 @@ def cmd_show(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    if args.resume and not args.journal_dir:
+        print("--resume requires --journal-dir", file=sys.stderr)
+        return 2
     ctx = _context(args)
     fpva = ctx.fpva
     suite = TestGenerator(fpva, context=ctx).generate().testset
     print(suite.summary())
     scenario = get_scenario(args.scenario) if args.scenario else None
     fault_counts = tuple(range(1, args.max_faults + 1))
-    # Always the sharded runner: its workers<=1 branch runs the identical
-    # shard structure serially, so --workers only changes wall-clock.
     print(f"scenario={scenario.name if scenario else 'stuck-at'} "
-          f"workers={args.workers}")
-    sweep = run_sweep_sharded(
-        fpva,
-        suite.all_vectors(),
-        fault_counts=fault_counts,
-        trials=args.trials,
-        seed=args.seed,
-        workers=args.workers,
-        scenario=scenario,
-        context=ctx,
-    )
+          f"workers={args.workers}"
+          + (f" journal={args.journal_dir}" if args.journal_dir else ""))
+    if args.journal_dir:
+        # The campaign fabric: shards publish durably as they complete, a
+        # killed run resumes from the last published shard, and the merge
+        # is bit-identical to the in-memory path below.
+        from repro.fabric import CampaignSpec, run_journaled_sweep
+
+        mode, kernel, kernel_backend = ctx.shipping_spec()
+        spec = CampaignSpec(
+            fpva=fpva,
+            vectors=tuple(suite.all_vectors()),
+            fault_counts=fault_counts,
+            trials=args.trials,
+            seed=args.seed,
+            scenario=scenario,
+        )
+        sweep, stats = run_journaled_sweep(
+            spec,
+            args.journal_dir,
+            workers=args.workers,
+            scheduler=args.scheduler,
+            resume=args.resume,
+            mode=mode,
+            kernel=kernel,
+            kernel_backend=kernel_backend,
+        )
+        print(f"journal: {stats.summary()}")
+    else:
+        # In-memory fast case: the sharded runner's workers<=1 branch runs
+        # the identical shard structure serially, so --workers only
+        # changes wall-clock.
+        sweep = run_sweep_sharded(
+            fpva,
+            suite.all_vectors(),
+            fault_counts=fault_counts,
+            trials=args.trials,
+            seed=args.seed,
+            workers=args.workers,
+            scenario=scenario,
+            context=ctx,
+        )
+    if args.json:
+        payload = {str(k): sweep[k].as_dict() for k in sorted(sweep)}
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote sweep results to {args.json}")
     failures = 0
     for k, result in sorted(sweep.items()):
         print(
@@ -310,6 +354,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; workers load the compiled kernel "
                         "from here instead of unpickling one per shard")
+    p.add_argument("--journal-dir", default=None,
+                   help="run through the campaign fabric: shards publish "
+                        "durably here as they complete, a killed run "
+                        "resumes from the last published shard, and "
+                        "re-running a finished campaign simulates nothing")
+    p.add_argument("--resume", action="store_true",
+                   help="insist the journal already exists (guards a "
+                        "mistyped --journal-dir from silently starting "
+                        "a fresh campaign); requires --journal-dir")
+    p.add_argument("--scheduler", choices=("greedy", "ilp"), default="greedy",
+                   help="shard-to-worker assignment: greedy cost model or "
+                        "ILP makespan solve over measured worker profiles "
+                        "(advisory — results are identical either way)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the merged sweep results as JSON")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_campaign)
 

@@ -271,6 +271,32 @@ class ExecutionContext:
             self._evaluators[key] = self._evaluators.pop(key)
         return evaluator
 
+    def shipping_spec(self) -> tuple[str, object, str | None]:
+        """What a shard payload headed to worker processes should carry.
+
+        Returns ``(mode, kernel, backend)``: ``("legacy", None, None)``
+        for an object-engine session; otherwise the session kernel — as
+        the persisted artifact's *path* when a store is configured (the
+        sharded pool and the campaign fabric then ship a string instead
+        of pickling a kernel per process), or the compiled object itself
+        without one — plus the backend-tier name workers re-attach.
+        """
+        if not self.batched:
+            return "legacy", None, None
+        # Materialize first: a cold compile persists itself through the
+        # session store, so the has() check below only catches a kernel
+        # the context adopted pre-compiled (never written anywhere).
+        kernel = self.kernel
+        if self.store is None:
+            return "kernel", kernel, self.kernel_backend
+        if not self.store.kernels.has(self.fpva):
+            self.store.kernels.save(kernel)
+        return (
+            "kernel",
+            str(self.store.kernels.path_for(self.fpva)),
+            self.kernel_backend,
+        )
+
     def rng(self, *stream: int) -> random.Random:
         """A deterministic RNG for one purpose-stream of the session.
 

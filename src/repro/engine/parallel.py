@@ -19,6 +19,14 @@ memoizes them across its shards, so wide sweeps stop serializing a kernel
 per task.  Scenario objects and arrays ride to the workers via pickling,
 so custom scenarios must be defined at module top level (the registered
 ones are).
+
+With ``journal_dir=`` set, the *identical* shard structure runs through
+the campaign fabric (:mod:`repro.fabric`) instead of a transient pool:
+every shard is a content-addressed descriptor, completed shards publish
+atomically into the journal, and a killed run resumes from the last
+published shard — with any worker count, since the merge reads published
+shards in canonical order.  The no-journal path remains the in-memory
+fast case.
 """
 
 from __future__ import annotations
@@ -29,7 +37,11 @@ from typing import Sequence
 
 from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
-from repro.sim.campaign import CampaignResult, run_campaign as _run_serial
+from repro.sim.campaign import (
+    CampaignResult,
+    merge_shards,
+    run_campaign as _run_serial,
+)
 from repro.sim.kernel import ReachabilityKernel
 from repro.sim.seeding import mix_seed as _mix_seed
 
@@ -64,18 +76,7 @@ def _resolve_shipping(fpva, backend: str | None, cache_dir, context):
         from repro.context import ExecutionContext
 
         context = ExecutionContext.resolve(context, fpva)
-        if not context.batched:
-            return "legacy", None, None
-        if context.store is None:
-            return "kernel", context.kernel, context.kernel_backend
-        store = context.store
-        # Materialize first: a cold compile persists itself through the
-        # session store, so the has() check below only catches a kernel
-        # the context adopted pre-compiled (never written anywhere).
-        kernel = context.kernel
-        if not store.kernels.has(fpva):
-            store.kernels.save(kernel)
-        return "kernel", str(store.kernels.path_for(fpva)), context.kernel_backend
+        return context.shipping_spec()
     kernel_backend = None
     if backend is not None:
         from repro.sim.backends import resolve_legacy_engine
@@ -178,14 +179,61 @@ def _shard_payloads(
 def _merge(
     num_faults: int, shards: Sequence[CampaignResult], keep_undetected: int
 ) -> CampaignResult:
-    merged = CampaignResult(num_faults=num_faults, trials=0, detected=0)
-    for shard in shards:
-        merged.trials += shard.trials
-        merged.detected += shard.detected
-        for example in shard.undetected_examples:
-            if len(merged.undetected_examples) < keep_undetected:
-                merged.undetected_examples.append(example)
-    return merged
+    """Merge shard results given *in shard order*.
+
+    Delegates to :func:`repro.sim.campaign.merge_shards`, which sorts
+    example candidates by campaign-global ``(shard, trial)`` before
+    truncating to ``keep_undetected`` — the selection is therefore a pure
+    function of shard contents, never of arrival or resume order (the
+    pre-fabric version took examples first-come, which only happened to
+    be deterministic because this runner always merged in shard order).
+    """
+    return merge_shards(num_faults, list(enumerate(shards)), keep_undetected)
+
+
+def _run_journaled(
+    fpva,
+    vectors,
+    fault_counts,
+    trials,
+    seed,
+    include_control_leaks,
+    keep_undetected,
+    scenario,
+    shard_trials,
+    mode,
+    kernel,
+    kernel_backend,
+    workers,
+    journal_dir,
+    resume,
+    scheduler,
+):
+    """The fabric path shared by the journaled campaign and sweep."""
+    from repro.fabric import CampaignSpec, run_journaled_sweep
+
+    spec = CampaignSpec(
+        fpva=fpva,
+        vectors=tuple(vectors),
+        fault_counts=tuple(fault_counts),
+        trials=trials,
+        seed=seed,
+        include_control_leaks=include_control_leaks,
+        keep_undetected=keep_undetected,
+        scenario=scenario,
+        shard_trials=shard_trials,
+    )
+    results, _ = run_journaled_sweep(
+        spec,
+        journal_dir,
+        workers=workers,
+        scheduler=scheduler,
+        resume=resume,
+        mode=mode,
+        kernel=kernel,
+        kernel_backend=kernel_backend,
+    )
+    return results
 
 
 def run_campaign(
@@ -202,14 +250,32 @@ def run_campaign(
     backend: str | None = None,
     cache_dir: str | os.PathLike | None = None,
     context=None,
+    journal_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    scheduler: str = "greedy",
 ) -> CampaignResult:
     """Sharded campaign; result is independent of ``workers`` *and* of
     whether the kernel ships by artifact path or by pickle.  ``context``
     supplies the session kernel/store/backend tier; the ``backend=``/
-    ``cache_dir=`` keywords remain as deprecation shims for one release."""
+    ``cache_dir=`` keywords remain as deprecation shims for one release.
+
+    ``journal_dir`` reroutes the identical shard structure through the
+    campaign fabric (:mod:`repro.fabric`): shards publish durably as they
+    finish, a killed run resumes from the last published shard, and the
+    shard space is content-addressed — a sweep touching this ``num_faults``
+    against the same (suite, scenario, seed) reuses these shards.  The
+    no-journal path stays the in-memory fast case.
+    """
     backend, kernel, kernel_backend = _resolve_shipping(
         fpva, backend, cache_dir, context
     )
+    if journal_dir is not None:
+        return _run_journaled(
+            fpva, vectors, (num_faults,), trials, seed,
+            include_control_leaks, keep_undetected, scenario, shard_trials,
+            backend, kernel, kernel_backend, workers, journal_dir, resume,
+            scheduler,
+        )[num_faults]
     payloads = _shard_payloads(
         fpva,
         vectors,
@@ -246,6 +312,9 @@ def run_sweep(
     backend: str | None = None,
     cache_dir: str | os.PathLike | None = None,
     context=None,
+    journal_dir: str | os.PathLike | None = None,
+    resume: bool = False,
+    scheduler: str = "greedy",
 ) -> dict[int, CampaignResult]:
     """The paper's k-faults sweep, with all (k, shard) tasks in one pool.
 
@@ -254,10 +323,26 @@ def run_sweep(
     come from ``mix_seed(seed, k, shard)`` directly — the fault count is
     mixed in by the finalizer, so no ``seed + k`` arithmetic (whose streams
     collide across sweeps) ever touches the seed.
+
+    ``journal_dir`` reroutes the identical shard structure through the
+    campaign fabric: every completed shard publishes atomically into the
+    journal, a killed sweep resumes from the last published shard (with
+    any worker count — the merge is bit-identical regardless), and
+    re-running a finished sweep simulates nothing.  ``scheduler`` picks
+    the shard-to-worker assignment (``"greedy"`` cost model or ``"ilp"``
+    makespan solve over measured worker profiles); ``resume=True``
+    additionally insists the journal already exists.
     """
     backend, kernel, kernel_backend = _resolve_shipping(
         fpva, backend, cache_dir, context
     )
+    if journal_dir is not None:
+        return _run_journaled(
+            fpva, vectors, tuple(fault_counts), trials, seed,
+            include_control_leaks, keep_undetected, scenario, shard_trials,
+            backend, kernel, kernel_backend, workers, journal_dir, resume,
+            scheduler,
+        )
     tagged: list[tuple[int, tuple]] = []
     for k in fault_counts:
         for payload in _shard_payloads(

@@ -1,0 +1,72 @@
+"""Resumable campaign fabric: durable, distributed fault-injection sweeps.
+
+The section-IV experiments are million-trial sweeps; run through a plain
+process pool they die with the process.  The fabric makes every
+``(layout, suite, scenario, k, shard)`` task a content-addressed
+descriptor (:mod:`repro.fabric.descriptors`), publishes completed shards
+atomically into a :class:`ShardStore` (:mod:`repro.fabric.shards`, the
+store subsystem's ``meta.json`` completeness-marker pattern), and tracks
+pending/leased/done in a :class:`CampaignJournal`
+(:mod:`repro.fabric.journal`) that any number of independent processes —
+on any kernel backend tier — can drain concurrently.  A killed run
+resumes from the last published shard; re-running a finished campaign is
+a pure cache hit; and the merge (:func:`repro.sim.campaign.merge_shards`)
+reads shards in canonical order, so the aggregate is bit-identical to
+the uninterrupted ``workers=1`` run whatever happened along the way.
+
+Shard-to-worker assignment is a pluggable scheduler seam
+(:mod:`repro.fabric.scheduler`): a greedy LPT cost model by default, an
+exact ILP makespan solve over measured per-worker throughput profiles on
+request — advisory only, the lease protocol owns correctness.
+
+Entry points: :func:`run_journaled_sweep` here, or ``journal_dir=`` on
+:func:`repro.engine.run_sweep`/:func:`repro.engine.run_campaign` and
+``--journal-dir/--resume`` on the CLI ``campaign`` command.
+"""
+
+from repro.fabric.descriptors import CampaignSpec, ShardDescriptor
+from repro.fabric.journal import (
+    DEFAULT_LEASE_TIMEOUT,
+    DONE,
+    LEASED,
+    PENDING,
+    CampaignJournal,
+    JournalMismatch,
+)
+from repro.fabric.runner import (
+    DrainStats,
+    ShardWorker,
+    load_sweep,
+    run_journaled_sweep,
+)
+from repro.fabric.scheduler import (
+    GreedyScheduler,
+    IlpScheduler,
+    WorkerProfile,
+    get_scheduler,
+    measure_profiles,
+    scheduler_names,
+)
+from repro.fabric.shards import ShardStore
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignSpec",
+    "DEFAULT_LEASE_TIMEOUT",
+    "DONE",
+    "DrainStats",
+    "GreedyScheduler",
+    "IlpScheduler",
+    "JournalMismatch",
+    "LEASED",
+    "PENDING",
+    "ShardDescriptor",
+    "ShardStore",
+    "ShardWorker",
+    "WorkerProfile",
+    "get_scheduler",
+    "load_sweep",
+    "measure_profiles",
+    "run_journaled_sweep",
+    "scheduler_names",
+]

@@ -1,0 +1,323 @@
+"""Draining a campaign journal: workers, pools, and the deterministic merge.
+
+The execution model is deliberately simple — every worker, in-process or
+pooled, runs the same loop::
+
+    claim -> simulate -> publish (atomic) -> release lease
+
+against one shared :class:`~repro.fabric.journal.CampaignJournal`.  All
+coordination is the journal's lease protocol, so any number of
+independent *processes* (not just this pool's — anything pointed at the
+same directory, on any backend tier) can drain concurrently, crash, and
+resume; the merge only ever reads published shard artifacts in canonical
+``(k, shard)`` order, which is what keeps the aggregate bit-identical to
+the uninterrupted ``workers=1`` run regardless of worker count, crash
+point, or resume order.
+
+:class:`ShardWorker` exposes a :meth:`~ShardWorker.checkpoint` hook at
+each named point of that loop (``pre-claim``, ``mid-simulate``,
+``post-publish``) — a no-op here, overridden by the crash-injection test
+harness to kill execution at exactly the transition under test.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.sim.campaign import CampaignResult, merge_shards
+
+from repro.fabric.descriptors import CampaignSpec, ShardDescriptor
+from repro.fabric.journal import DEFAULT_LEASE_TIMEOUT, CampaignJournal
+from repro.fabric.scheduler import get_scheduler, measure_profiles
+
+#: How often the parent re-polls the journal while foreign processes
+#: still hold fresh leases on the last undone shards.
+POLL_INTERVAL = 0.1
+
+
+@dataclass(frozen=True)
+class DrainStats:
+    """What one :func:`run_journaled_sweep` invocation actually did."""
+
+    total: int          #: shards in the campaign
+    executed: int       #: shards this invocation simulated and published
+    cache_hits: int     #: shards already published before this invocation
+    reclaimed: int      #: stale leases reclaimed along the way
+    workers: int
+    scheduler: str
+
+    def summary(self) -> str:
+        return (
+            f"{self.executed} executed, {self.cache_hits} cached, "
+            f"{self.reclaimed} lease(s) reclaimed "
+            f"({self.total} shards, {self.workers} worker(s), "
+            f"scheduler={self.scheduler})"
+        )
+
+
+class ShardWorker:
+    """One drain loop over a journal.
+
+    ``order`` is the claim preference (typically this worker's scheduler
+    queue followed by everyone else's, for work stealing); the journal's
+    lease protocol arbitrates every claim, so preferences only shape wall
+    clock.  ``mode``/``kernel``/``kernel_backend`` mirror the in-memory
+    pool's shard payload: ``mode="legacy"`` runs the object engine,
+    otherwise ``kernel`` is a compiled kernel, an artifact path, or
+    ``None`` (compile locally), attached to the named backend tier.
+    """
+
+    def __init__(
+        self,
+        journal: CampaignJournal,
+        spec: CampaignSpec,
+        order: Sequence[ShardDescriptor],
+        *,
+        worker_id: str = "w0",
+        mode: str = "kernel",
+        kernel=None,
+        kernel_backend: str | None = None,
+    ):
+        self.journal = journal
+        self.spec = spec
+        self.order = list(order)
+        self.worker_id = worker_id
+        self.mode = mode
+        self.kernel = kernel
+        self.kernel_backend = kernel_backend
+        self.executed = 0
+
+    def checkpoint(self, point: str, descriptor: ShardDescriptor | None) -> None:
+        """Crash-injection seam; the production worker never acts here."""
+
+    def run_shard(self, descriptor: ShardDescriptor) -> CampaignResult:
+        from repro.engine.parallel import _run_shard
+
+        spec = self.spec
+        return _run_shard(
+            (
+                spec.fpva,
+                spec.vectors,
+                descriptor.num_faults,
+                descriptor.trials,
+                descriptor.seed,
+                spec.include_control_leaks,
+                spec.keep_undetected,
+                spec.scenario,
+                self.mode,
+                self.kernel,
+                self.kernel_backend,
+            )
+        )
+
+    def drain(self) -> int:
+        """Claim-and-run until nothing claimable remains; returns the
+        number of shards this worker executed."""
+        pending = list(self.order)
+        while True:
+            self.checkpoint("pre-claim", None)
+            descriptor = self.journal.claim(pending)
+            if descriptor is None:
+                return self.executed
+            pending.remove(descriptor)
+            self.checkpoint("mid-simulate", descriptor)
+            t0 = time.perf_counter()
+            result = self.run_shard(descriptor)
+            elapsed = time.perf_counter() - t0
+            self.journal.publish_result(
+                descriptor,
+                result,
+                worker=self.worker_id,
+                elapsed=elapsed,
+                backend=self.kernel_backend,
+            )
+            self.checkpoint("post-publish", descriptor)
+            self.journal.release(descriptor)
+            self.executed += 1
+
+
+def _stealing_order(
+    queue: Sequence[ShardDescriptor], everything: Sequence[ShardDescriptor]
+) -> list[ShardDescriptor]:
+    """A worker's claim preference: its own queue, then everyone else's."""
+    mine = {d.digest for d in queue}
+    return list(queue) + [d for d in everything if d.digest not in mine]
+
+
+def _drain_process(
+    journal_root: str,
+    spec: CampaignSpec,
+    worker_id: str,
+    preferred: list[str],
+    mode: str,
+    kernel,
+    kernel_backend: str | None,
+    lease_timeout: float,
+) -> tuple[int, int]:
+    """Pool-worker entry point: drain with a process-local journal."""
+    journal = CampaignJournal(
+        journal_root, lease_timeout=lease_timeout, owner=worker_id
+    )
+    descriptors = spec.shards()
+    by_digest = {d.digest: d for d in descriptors}
+    queue = [by_digest[g] for g in preferred if g in by_digest]
+    worker = ShardWorker(
+        journal,
+        spec,
+        _stealing_order(queue, descriptors),
+        worker_id=worker_id,
+        mode=mode,
+        kernel=kernel,
+        kernel_backend=kernel_backend,
+    )
+    return worker.drain(), journal.reclaimed
+
+
+def _prepare_kernel(spec: CampaignSpec, mode: str, kernel, journal_root, workers):
+    """Normalize the kernel spec shipped to workers.
+
+    A pool never pickles a kernel per process when it can ship a path:
+    an in-memory kernel headed to a multi-process drain is persisted into
+    the journal's own ``kernels/`` store (the journal is durable anyway),
+    so heterogeneous processes attached later warm-load the same artifact.
+    """
+    if mode == "legacy" or isinstance(kernel, str) or workers <= 1:
+        return kernel
+    from repro.sim.kernel import ReachabilityKernel
+    from repro.store import KernelStore
+
+    if kernel is None:
+        kernel = ReachabilityKernel(spec.fpva)
+    store = KernelStore(Path(journal_root) / "kernels")
+    if not store.has(spec.fpva):
+        store.save(kernel)
+    return str(store.path_for(spec.fpva))
+
+
+def load_sweep(
+    journal: CampaignJournal, spec: CampaignSpec
+) -> dict[int, CampaignResult]:
+    """Merge every published shard in canonical order (all must be done)."""
+    out: dict[int, CampaignResult] = {}
+    for k in spec.fault_counts:
+        shards = []
+        for descriptor in spec.shards_for(k):
+            if not journal.store.has(descriptor.digest):
+                raise RuntimeError(
+                    f"shard {descriptor.digest} (k={k}, "
+                    f"shard={descriptor.shard}) is not published yet"
+                )
+            shards.append(
+                (descriptor.shard, journal.store.load(descriptor.digest))
+            )
+        out[k] = merge_shards(k, shards, spec.keep_undetected)
+    return out
+
+
+def run_journaled_sweep(
+    spec: CampaignSpec,
+    journal_dir: str | os.PathLike,
+    *,
+    workers: int = 1,
+    scheduler: str = "greedy",
+    resume: bool = False,
+    lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+    clock=time.time,
+    mode: str = "kernel",
+    kernel=None,
+    kernel_backend: str | None = None,
+    worker_backends: Sequence[str | None] | None = None,
+    worker_cls: type[ShardWorker] = ShardWorker,
+    poll_interval: float = POLL_INTERVAL,
+) -> tuple[dict[int, CampaignResult], DrainStats]:
+    """Drain (or resume) one campaign's journal and merge the result.
+
+    Re-invoking on a finished journal simulates nothing and reports every
+    shard as a cache hit; a killed run resumes from the last published
+    shard, with stale leases reclaimed on the way.  ``worker_backends``
+    optionally pins a kernel tier per pool worker (cycled), which is how
+    a heterogeneous fleet drains one journal — results are bit-identical
+    by the backends' own equivalence guarantee.  ``worker_cls`` is the
+    crash-injection seam (single-process drains only).
+
+    ``resume=True`` insists the journal already exists (guarding against
+    a mistyped ``--journal-dir`` silently starting a fresh campaign).
+    """
+    journal = CampaignJournal(
+        journal_dir, lease_timeout=lease_timeout, clock=clock
+    )
+    if resume and journal.manifest() is None:
+        raise FileNotFoundError(
+            f"--resume: no campaign journal at {journal.root}"
+        )
+    journal.ensure(spec)
+    descriptors = spec.shards()
+    done_before = sum(
+        1 for d in descriptors if journal.store.has(d.digest)
+    )
+    remaining = [d for d in descriptors if not journal.store.has(d.digest)]
+
+    kernel = _prepare_kernel(spec, mode, kernel, journal.root, workers)
+    executed = 0
+    reclaimed = 0
+    if remaining and workers > 1:
+        worker_ids = [f"w{i}" for i in range(workers)]
+        profiles = measure_profiles(journal.store, descriptors)
+        queues = get_scheduler(scheduler).assign(
+            remaining, worker_ids, profiles
+        )
+        backends = list(worker_backends or [])
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(
+                    _drain_process,
+                    str(journal.root),
+                    spec,
+                    worker_ids[i],
+                    [d.digest for d in queues[i]],
+                    mode,
+                    kernel,
+                    backends[i % len(backends)] if backends else kernel_backend,
+                    lease_timeout,
+                )
+                for i in range(workers)
+            ]
+            for future in futures:
+                done, freed = future.result()
+                executed += done
+                reclaimed += freed
+    # Inline pass: runs the whole campaign when workers <= 1, and mops up
+    # after the pool — anything still unpublished is either stale-leased
+    # (reclaim and run it here) or actively held by a foreign process
+    # (wait for its publish).
+    while True:
+        undone = [d for d in descriptors if not journal.store.has(d.digest)]
+        if not undone:
+            break
+        worker = worker_cls(
+            journal,
+            spec,
+            undone,
+            worker_id="w0",
+            mode=mode,
+            kernel=kernel,
+            kernel_backend=kernel_backend,
+        )
+        executed += worker.drain()
+        if any(not journal.store.has(d.digest) for d in descriptors):
+            time.sleep(poll_interval)
+
+    stats = DrainStats(
+        total=len(descriptors),
+        executed=executed,
+        cache_hits=done_before,
+        reclaimed=reclaimed + journal.reclaimed,
+        workers=workers,
+        scheduler=scheduler,
+    )
+    return load_sweep(journal, spec), stats

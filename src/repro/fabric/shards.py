@@ -1,0 +1,139 @@
+"""Atomic, content-addressed persistence for completed shard results.
+
+One directory per shard digest, following the store's proven
+completeness-marker pattern (:mod:`repro.store.dictionaries`)::
+
+    <root>/<digest>/
+        result.npz   # counts + undetected trial indices + pickled examples
+        meta.json    # provenance (worker, elapsed, backend); written LAST
+
+``meta.json`` is written last inside a temp directory that is atomically
+renamed into place, so a crashed worker never leaves a half-written shard
+addressable, and :meth:`ShardStore.has` doubles as the journal's *done*
+predicate.  Publishing an already-published digest is a no-op that keeps
+the first artifact: content addressing guarantees both are identical, so
+a slow worker racing a reclaimed lease is harmless.
+
+Undetected examples are fault-object tuples from arbitrary (possibly
+user-registered) scenarios, so they ride as a pickle blob inside the
+``.npz`` — the counts that drive merging stay plain integer arrays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.sim.campaign import CampaignResult
+from repro.store.digest import STORE_FORMAT_VERSION
+
+from repro.fabric.descriptors import ShardDescriptor
+
+
+class ShardStore:
+    """Content-addressed store of published :class:`CampaignResult` shards."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / digest
+
+    def has(self, digest: str) -> bool:
+        """Only *complete* artifacts count (``meta.json`` is written last)."""
+        return (self.path_for(digest) / "meta.json").exists()
+
+    def meta(self, digest: str) -> dict:
+        with open(self.path_for(digest) / "meta.json") as fh:
+            return json.load(fh)
+
+    def publish(
+        self,
+        descriptor: ShardDescriptor,
+        result: CampaignResult,
+        *,
+        worker: str = "",
+        elapsed: float = 0.0,
+        backend: str | None = None,
+    ) -> Path:
+        """Atomically publish one shard's result; idempotent per digest."""
+        if result.num_faults != descriptor.num_faults or (
+            result.trials != descriptor.trials
+        ):
+            raise ValueError(
+                f"result (k={result.num_faults}, trials={result.trials}) does "
+                f"not match descriptor (k={descriptor.num_faults}, "
+                f"trials={descriptor.trials})"
+            )
+        final = self.path_for(descriptor.digest)
+        if self.has(descriptor.digest):
+            return final
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = final.with_name(f"{final.name}.tmp-{os.getpid()}")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            examples = pickle.dumps(list(result.undetected_examples))
+            with open(tmp / "result.npz", "wb") as fh:
+                np.savez(
+                    fh,
+                    counts=np.array(
+                        [result.num_faults, result.trials, result.detected],
+                        dtype=np.int64,
+                    ),
+                    undetected_trials=np.array(
+                        result.undetected_trials, dtype=np.int64
+                    ),
+                    examples=np.frombuffer(examples, dtype=np.uint8),
+                )
+            meta = {
+                "version": STORE_FORMAT_VERSION,
+                "digest": descriptor.digest,
+                "num_faults": descriptor.num_faults,
+                "shard": descriptor.shard,
+                "trials": descriptor.trials,
+                "detected": result.detected,
+                "worker": worker,
+                "elapsed": float(elapsed),
+                "backend": backend,
+            }
+            with open(tmp / "meta.json", "w") as fh:
+                json.dump(meta, fh, indent=2, sort_keys=True)
+            try:
+                os.replace(tmp, final)
+            except OSError:
+                # A concurrent publish won the rename race; its artifact
+                # is identical by content addressing, so keep it.
+                if not (final / "meta.json").exists():
+                    raise
+                shutil.rmtree(tmp)
+        finally:
+            if tmp.exists():  # pragma: no cover - crash-path cleanup
+                shutil.rmtree(tmp)
+        return final
+
+    def load(self, digest: str) -> CampaignResult:
+        """Materialize one published shard, bit-identical to the publish."""
+        directory = self.path_for(digest)
+        meta = self.meta(digest)
+        if meta["version"] != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"shard artifact {directory} has an unsupported format version"
+            )
+        with np.load(directory / "result.npz") as data:
+            num_faults, trials, detected = (int(v) for v in data["counts"])
+            undetected_trials = [int(t) for t in data["undetected_trials"]]
+            examples = pickle.loads(data["examples"].tobytes())
+        return CampaignResult(
+            num_faults=num_faults,
+            trials=trials,
+            detected=detected,
+            undetected_examples=examples,
+            undetected_trials=undetected_trials,
+        )

@@ -32,6 +32,11 @@ class CampaignResult:
     trials: int
     detected: int
     undetected_examples: list[tuple[Fault, ...]] = field(default_factory=list)
+    #: Trial index (within this result's own trial stream) of each kept
+    #: undetected example, parallel to :attr:`undetected_examples`.  Merged
+    #: results carry campaign-global indices, which is what lets the merge
+    #: select examples deterministically whatever order shards arrive in.
+    undetected_trials: list[int] = field(default_factory=list)
 
     @property
     def detection_rate(self) -> float:
@@ -41,11 +46,65 @@ class CampaignResult:
     def all_detected(self) -> bool:
         return self.detected == self.trials
 
+    def as_dict(self) -> dict:
+        """A JSON-serializable view (faults rendered via ``repr``)."""
+        return {
+            "num_faults": self.num_faults,
+            "trials": self.trials,
+            "detected": self.detected,
+            "detection_rate": self.detection_rate,
+            "undetected_trials": list(self.undetected_trials),
+            "undetected_examples": [
+                [repr(fault) for fault in example]
+                for example in self.undetected_examples
+            ],
+        }
+
     def __repr__(self):
         return (
             f"CampaignResult(k={self.num_faults}, {self.detected}/{self.trials} "
             f"detected = {self.detection_rate:.4%})"
         )
+
+
+def merge_shards(
+    num_faults: int,
+    shards: Sequence[tuple[int, "CampaignResult"]],
+    keep_undetected: int,
+) -> "CampaignResult":
+    """Merge ``(shard index, result)`` pairs into one :class:`CampaignResult`.
+
+    The aggregate is a pure function of the shard *contents*: counts are
+    commutative sums, and undetected examples are re-indexed to
+    campaign-global trial numbers (``shard offset + local trial``), sorted
+    by that global index, then truncated to ``keep_undetected`` — so the
+    merge is bit-identical whether shards arrive in shard order (the
+    in-memory pool), completion order, or any resume order (the fabric).
+    """
+    ordered = sorted(shards, key=lambda pair: pair[0])
+    indices = [index for index, _ in ordered]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate shard indices in merge: {indices}")
+    merged = CampaignResult(num_faults=num_faults, trials=0, detected=0)
+    entries: list[tuple[int, tuple]] = []
+    offset = 0
+    for _, shard in ordered:
+        merged.trials += shard.trials
+        merged.detected += shard.detected
+        trials = shard.undetected_trials
+        if len(trials) != len(shard.undetected_examples):
+            # Legacy shard results without per-example indices: fall back
+            # to per-shard arrival order (still deterministic, examples
+            # are appended in trial order).
+            trials = range(len(shard.undetected_examples))
+        for local, example in zip(trials, shard.undetected_examples):
+            entries.append((offset + local, example))
+        offset += shard.trials
+    entries.sort(key=lambda entry: entry[0])
+    for global_trial, example in entries[:keep_undetected]:
+        merged.undetected_examples.append(example)
+        merged.undetected_trials.append(global_trial)
+    return merged
 
 
 def sample_fault_set(
@@ -147,7 +206,7 @@ def run_campaign(
                 evaluator, draw, trials, keep_undetected, result
             )
             return result
-    for _ in range(trials):
+    for trial in range(trials):
         faults = draw()
         chip = ChipUnderTest(fpva, faults)
         run = tester.run(chip, vectors, stop_at_first_fail=True)
@@ -155,6 +214,7 @@ def run_campaign(
             result.detected += 1
         elif len(result.undetected_examples) < keep_undetected:
             result.undetected_examples.append(faults)
+            result.undetected_trials.append(trial)
     return result
 
 
@@ -186,11 +246,12 @@ def _run_batched(
     evaluator.flush()
     expected = evaluator.expected_rows
     observed = evaluator.observed_row
-    for faults, row in zip(drawn, rows):
+    for trial, (faults, row) in enumerate(zip(drawn, rows)):
         if any(observed(slot) != expected[vi] for vi, slot in enumerate(row)):
             result.detected += 1
         elif len(result.undetected_examples) < keep_undetected:
             result.undetected_examples.append(faults)
+            result.undetected_trials.append(trial)
 
 
 def run_sweep(

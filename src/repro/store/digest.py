@@ -99,6 +99,64 @@ def kernel_digest(fpva: FPVA) -> str:
     return digest_of("kernel", STORE_FORMAT_VERSION, layout_key(fpva))
 
 
+def scenario_key(scenario, include_control_leaks: bool = True) -> tuple:
+    """Canonical identity of a campaign's fault workload.
+
+    ``None`` is the paper's default stuck-at space, whose universe is a
+    function of ``include_control_leaks`` alone.  Registered scenarios are
+    frozen dataclasses, so ``repr`` canonically captures their parameters
+    (a custom scenario must likewise keep its ``repr`` a pure function of
+    its sampling behaviour to address shards correctly).
+    """
+    if scenario is None:
+        return ("default", bool(include_control_leaks))
+    return ("scenario", scenario.name, repr(scenario))
+
+
+def campaign_key(
+    fpva: FPVA,
+    vectors: Sequence[TestVector],
+    scenario,
+    include_control_leaks: bool,
+    seed: int,
+    shard_trials: int,
+    keep_undetected: int,
+) -> tuple:
+    """The shared identity prefix of a campaign's shard space.
+
+    Deliberately excludes the fault-count list and the total trial count:
+    a shard is addressed by what it *simulates*, so a single-``k``
+    campaign and a sweep containing that ``k`` hit the same shard
+    artifacts, and extending ``trials`` reuses every full shard already
+    published.
+    """
+    return (
+        STORE_FORMAT_VERSION,
+        layout_key(fpva),
+        tuple(vector_key(v) for v in vectors),
+        scenario_key(scenario, include_control_leaks),
+        int(seed),
+        int(shard_trials),
+        int(keep_undetected),
+    )
+
+
+def campaign_digest(key: tuple, fault_counts: Sequence[int], trials: int) -> str:
+    """Manifest identity of one concrete campaign/sweep invocation."""
+    return digest_of(
+        "campaign", key, tuple(int(k) for k in fault_counts), int(trials)
+    )
+
+
+def shard_digest(key: tuple, num_faults: int, shard: int, trials: int) -> str:
+    """Content address of one ``(campaign key, k, shard)`` work unit.
+
+    ``trials`` is the shard's own size (the tail shard of an uneven split
+    is a different artifact from a full one).
+    """
+    return digest_of("shard", key, int(num_faults), int(shard), int(trials))
+
+
 def dictionary_digest(
     fpva: FPVA,
     vectors: Sequence[TestVector],

@@ -116,3 +116,58 @@ class TestSharding:
             fpva, vectors, num_faults=2, trials=100, seed=21
         )
         assert sharded.all_detected and serial.all_detected
+
+
+class TestFabricPath:
+    """run_sweep/run_campaign rerouted through the campaign fabric."""
+
+    def test_sweep_worker_count_invariant_under_journal(self, bundle, tmp_path):
+        """Satellite: in-memory, journaled-serial and journaled-pooled
+        sweeps are one bit-identical result."""
+        fpva, vectors = bundle
+        kwargs = dict(fault_counts=(1, 2), trials=60, seed=5, shard_trials=15)
+        memory = run_sweep(fpva, vectors, workers=1, **kwargs)
+        serial = run_sweep(
+            fpva, vectors, workers=1, journal_dir=tmp_path / "serial", **kwargs
+        )
+        pooled = run_sweep(
+            fpva, vectors, workers=3, journal_dir=tmp_path / "pooled", **kwargs
+        )
+        assert set(memory) == set(serial) == set(pooled)
+        for k in memory:
+            assert _result_key(memory[k]) == _result_key(serial[k])
+            assert _result_key(memory[k]) == _result_key(pooled[k])
+            assert memory[k].undetected_trials == serial[k].undetected_trials
+            assert memory[k].undetected_trials == pooled[k].undetected_trials
+
+    def test_campaign_journal_matches_in_memory(self, bundle, tmp_path):
+        fpva, vectors = bundle
+        kwargs = dict(num_faults=2, trials=50, seed=11, shard_trials=20)
+        memory = run_campaign(fpva, vectors, workers=2, **kwargs)
+        journaled = run_campaign(
+            fpva, vectors, workers=2, journal_dir=tmp_path / "j", **kwargs
+        )
+        assert _result_key(memory) == _result_key(journaled)
+
+    def test_finished_journal_rerun_simulates_nothing(
+        self, bundle, tmp_path, monkeypatch
+    ):
+        """Re-running a completed sweep is a pure cache hit: the second
+        pass must never reach the shard executor."""
+        import repro.engine.parallel as parallel
+
+        fpva, vectors = bundle
+        kwargs = dict(
+            fault_counts=(1, 2), trials=40, seed=9, shard_trials=15,
+            journal_dir=tmp_path / "j",
+        )
+        first = run_sweep(fpva, vectors, workers=1, **kwargs)
+
+        def _boom(payload):
+            raise AssertionError("cache-hit rerun re-simulated a shard")
+
+        monkeypatch.setattr(parallel, "_run_shard", _boom)
+        second = run_sweep(fpva, vectors, workers=1, resume=True, **kwargs)
+        assert set(first) == set(second)
+        for k in first:
+            assert _result_key(first[k]) == _result_key(second[k])

@@ -1,0 +1,304 @@
+"""Crash-injection harness for the campaign fabric.
+
+Two layers of violence:
+
+* :class:`FaultyWorker` overrides the :meth:`ShardWorker.checkpoint`
+  seam to die *inside* the drain loop at each named transition —
+  ``pre-claim`` (nothing held), ``mid-simulate`` (lease held, nothing
+  published), ``post-publish`` (published, lease dangling) — after a
+  countdown of healthy shards.
+* A real ``SIGKILL`` of a worker *process* mid-campaign, resumed by a
+  pool with a different worker count.
+
+Every scenario must converge, on resume, to a merged sweep bit-identical
+to the uninterrupted in-memory ``workers=1`` run, and a resume of the
+finished campaign must re-simulate **zero** shards.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import generate_suite
+from repro.engine import run_sweep
+from repro.fabric import CampaignJournal, CampaignSpec, ShardWorker, run_journaled_sweep
+from repro.fpva import full_layout
+
+LEASE_TIMEOUT = 30.0
+
+
+class SimulatedCrash(RuntimeError):
+    """Stands in for a worker death at a checkpoint."""
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def faulty_worker(point: str, healthy: int) -> type[ShardWorker]:
+    """A worker class that dies at ``point`` after ``healthy`` passes.
+
+    The countdown lives on the class so it survives the runner
+    re-instantiating workers; each test builds a fresh subclass.
+    """
+
+    class FaultyWorker(ShardWorker):
+        remaining = healthy
+
+        def checkpoint(self, pt, descriptor):
+            if pt != point:
+                return
+            cls = type(self)
+            if cls.remaining <= 0:
+                raise SimulatedCrash(f"{point} (shard={descriptor})")
+            cls.remaining -= 1
+
+    return FaultyWorker
+
+
+class ThrottledWorker(ShardWorker):
+    """Slows the drain so the parent can SIGKILL it mid-campaign."""
+
+    def checkpoint(self, pt, descriptor):
+        if pt == "post-publish":
+            time.sleep(0.3)
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    fpva = full_layout(4, 4, name="crash-4x4")
+    return fpva, tuple(generate_suite(fpva).all_vectors())
+
+
+@pytest.fixture(scope="module")
+def spec(bundle):
+    fpva, vectors = bundle
+    return CampaignSpec(
+        fpva=fpva,
+        vectors=vectors,
+        fault_counts=(1, 2),
+        trials=40,
+        seed=11,
+        shard_trials=15,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(bundle):
+    """The uninterrupted in-memory workers=1 sweep — ground truth."""
+    fpva, vectors = bundle
+    return run_sweep(
+        fpva, vectors, fault_counts=(1, 2), trials=40, seed=11,
+        shard_trials=15, workers=1,
+    )
+
+
+def _result_key(result):
+    return (
+        result.num_faults,
+        result.trials,
+        result.detected,
+        result.undetected_examples,
+        result.undetected_trials,
+    )
+
+
+def assert_sweeps_identical(got, want):
+    assert sorted(got) == sorted(want)
+    for k in want:
+        assert _result_key(got[k]) == _result_key(want[k]), f"k={k}"
+
+
+def _done_count(journal_dir, spec):
+    store = CampaignJournal(journal_dir).store
+    return sum(store.has(d.digest) for d in spec.shards())
+
+
+CRASH_POINTS = ["pre-claim", "mid-simulate", "post-publish"]
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+def test_crash_then_serial_resume_bit_identical(
+    tmp_path, spec, reference, point
+):
+    """Die at each drain-loop transition; a serial resume converges."""
+    clock = FakeClock()
+    journal_dir = tmp_path / "journal"
+    with pytest.raises(SimulatedCrash):
+        run_journaled_sweep(
+            spec,
+            journal_dir,
+            workers=1,
+            worker_cls=faulty_worker(point, healthy=2),
+            clock=clock,
+            lease_timeout=LEASE_TIMEOUT,
+        )
+    done = _done_count(journal_dir, spec)
+    assert done < len(spec.shards())
+    if point == "pre-claim":
+        assert done == 2  # died before the third claim, nothing leased
+    elif point == "mid-simulate":
+        assert done == 2  # died holding the third shard's lease
+    else:
+        assert done == 3  # third shard published, its lease dangling
+
+    # The mid-simulate lease belongs to *this* (live) process, so only
+    # the timeout path can free it — advance past it, as a remote host
+    # would have to wait.
+    clock.advance(LEASE_TIMEOUT + 1.0)
+    results, stats = run_journaled_sweep(
+        spec,
+        journal_dir,
+        workers=1,
+        resume=True,
+        clock=clock,
+        lease_timeout=LEASE_TIMEOUT,
+    )
+    assert_sweeps_identical(results, reference)
+    assert stats.cache_hits == done
+    assert stats.executed == stats.total - done
+    if point == "mid-simulate":
+        assert stats.reclaimed == 1
+
+    # Acceptance: resuming the *finished* campaign simulates nothing.
+    results, stats = run_journaled_sweep(
+        spec, journal_dir, workers=1, resume=True, clock=clock,
+        lease_timeout=LEASE_TIMEOUT,
+    )
+    assert stats.executed == 0
+    assert stats.cache_hits == stats.total == len(spec.shards())
+    assert_sweeps_identical(results, reference)
+
+
+def test_crash_then_pool_resume_bit_identical(tmp_path, spec, reference):
+    """A crashed serial run resumed by a 3-worker pool converges too.
+
+    The pool's processes run on the real clock, against which the fake
+    clock's lease timestamps are ancient — stale on arrival, exactly like
+    leases inherited from a long-dead run.
+    """
+    clock = FakeClock()
+    journal_dir = tmp_path / "journal"
+    with pytest.raises(SimulatedCrash):
+        run_journaled_sweep(
+            spec,
+            journal_dir,
+            workers=1,
+            worker_cls=faulty_worker("mid-simulate", healthy=1),
+            clock=clock,
+            lease_timeout=LEASE_TIMEOUT,
+        )
+    results, stats = run_journaled_sweep(
+        spec, journal_dir, workers=3, resume=True,
+        lease_timeout=LEASE_TIMEOUT,
+    )
+    assert_sweeps_identical(results, reference)
+    assert stats.executed == stats.total - stats.cache_hits
+    assert stats.workers == 3
+
+
+def test_repeated_crashes_every_point_converge(tmp_path, spec, reference):
+    """A run that dies at a *different* point on every attempt still
+    finishes: each resume preserves all prior progress."""
+    clock = FakeClock()
+    journal_dir = tmp_path / "journal"
+    progress = []
+    for attempt, point in enumerate(CRASH_POINTS):
+        with pytest.raises(SimulatedCrash):
+            run_journaled_sweep(
+                spec,
+                journal_dir,
+                workers=1,
+                resume=attempt > 0,
+                worker_cls=faulty_worker(point, healthy=1),
+                clock=clock,
+                lease_timeout=LEASE_TIMEOUT,
+            )
+        progress.append(_done_count(journal_dir, spec))
+        clock.advance(LEASE_TIMEOUT + 1.0)
+    assert progress == sorted(progress)  # never loses published shards
+    results, stats = run_journaled_sweep(
+        spec, journal_dir, workers=1, resume=True, clock=clock,
+        lease_timeout=LEASE_TIMEOUT,
+    )
+    assert_sweeps_identical(results, reference)
+    assert stats.cache_hits == progress[-1]
+
+
+# -- the real thing: SIGKILL a worker process ------------------------------
+
+def _drain_slowly(spec, journal_dir):
+    run_journaled_sweep(
+        spec, journal_dir, workers=1, worker_cls=ThrottledWorker
+    )
+
+
+@pytest.fixture(scope="module")
+def big_spec(bundle):
+    fpva, vectors = bundle
+    return CampaignSpec(
+        fpva=fpva,
+        vectors=vectors,
+        fault_counts=(1, 2),
+        trials=60,
+        seed=11,
+        shard_trials=10,
+    )
+
+
+def test_sigkill_resume_with_different_workers(tmp_path, bundle, big_spec):
+    """Acceptance: SIGKILL mid-campaign, resume with a different worker
+    count, get the uninterrupted workers=1 result bit-for-bit — then a
+    final resume re-simulates zero shards."""
+    fpva, vectors = bundle
+    reference = run_sweep(
+        fpva, vectors, fault_counts=(1, 2), trials=60, seed=11,
+        shard_trials=10, workers=1,
+    )
+    journal_dir = tmp_path / "journal"
+    total = len(big_spec.shards())
+
+    ctx = multiprocessing.get_context("fork")
+    victim = ctx.Process(target=_drain_slowly, args=(big_spec, journal_dir))
+    victim.start()
+    try:
+        deadline = time.monotonic() + 60.0
+        while _done_count(journal_dir, big_spec) < 2:
+            assert victim.is_alive(), "worker finished before it was killed"
+            assert time.monotonic() < deadline, "no shard published in 60s"
+            time.sleep(0.01)
+        os.kill(victim.pid, signal.SIGKILL)
+    finally:
+        victim.join()
+    assert victim.exitcode == -signal.SIGKILL
+
+    done = _done_count(journal_dir, big_spec)
+    assert 0 < done < total
+
+    # The victim's lease names a dead pid on this host, so the resume
+    # reclaims it immediately — no lease-timeout wait involved.
+    results, stats = run_journaled_sweep(
+        big_spec, journal_dir, workers=2, resume=True
+    )
+    assert_sweeps_identical(results, reference)
+    assert stats.cache_hits >= done
+    assert stats.executed + stats.cache_hits == stats.total == total
+
+    results, stats = run_journaled_sweep(
+        big_spec, journal_dir, workers=2, resume=True
+    )
+    assert stats.executed == 0
+    assert stats.cache_hits == stats.total == total
+    assert_sweeps_identical(results, reference)
