@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Chaos harness for the campaign fabric's self-healing guarantees.
+
+Runs alongside a live journaled campaign drain and does two kinds of
+damage, in order:
+
+1. **Bit flips** — as shards publish, corrupt random published artifacts
+   in place (``result.npz`` payloads, occasionally the ``meta.json``
+   completeness marker), exactly the damage the store's checksums exist
+   to catch.
+2. **SIGKILL** — kill the drain's whole process group mid-campaign, the
+   way the crash-injection suite does, leaving stale leases and burned
+   attempt budgets behind.
+
+The harness only *injects* faults; the assertion lives with the caller
+(CI): resuming the campaign afterwards must quarantine every corrupted
+artifact, re-simulate it, and produce a merged JSON byte-identical to an
+uninterrupted serial reference — with a non-degraded exit code, since
+corruption heals and the kill burns fewer attempts than the poison
+budget.
+
+Usage::
+
+    setsid python -m repro campaign ... --workers 2 --journal-dir journal &
+    python scripts/fabric_chaos.py journal --victim $! \\
+        --cache-dir .artifact-cache --corruptions 3 --seed 13
+
+Exits 0 when it corrupted at least one artifact, 1 otherwise (nothing
+published in time — the campaign probably failed to start).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import signal
+import sys
+import time
+from pathlib import Path
+
+
+def published_shards(journal: Path) -> list[Path]:
+    """Directories of completely published shards (meta.json present)."""
+    return sorted(
+        marker.parent for marker in journal.glob("shards/*/meta.json")
+    )
+
+
+def flip_bits(path: Path, rng: random.Random) -> bool:
+    """Corrupt one random byte of ``path`` in place."""
+    try:
+        data = bytearray(path.read_bytes())
+    except OSError:
+        return False
+    if not data:
+        return False
+    index = rng.randrange(len(data))
+    data[index] ^= 0xFF
+    path.write_bytes(bytes(data))
+    print(f"chaos: flipped byte {index} of {path}", flush=True)
+    return True
+
+
+def truncate(path: Path) -> bool:
+    """Tear ``path`` in half, modelling a partial write at power loss."""
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    if not data:
+        return False
+    path.write_bytes(data[: len(data) // 2])
+    print(f"chaos: truncated {path} to {len(data) // 2} bytes", flush=True)
+    return True
+
+
+def corrupt_one(journal: Path, rng: random.Random, hit: set[Path]) -> bool:
+    """Corrupt a random not-yet-hit published shard artifact."""
+    fresh = [d for d in published_shards(journal) if d not in hit]
+    if not fresh:
+        return False
+    victim = rng.choice(fresh)
+    hit.add(victim)
+    # Mostly payload bit rot; sometimes tear the completeness marker
+    # instead — both must surface as quarantine-and-heal on resume.
+    if rng.random() < 0.75:
+        return flip_bits(victim / "result.npz", rng)
+    return truncate(victim / "meta.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("journal", type=Path, help="campaign journal directory")
+    parser.add_argument("--victim", type=int, default=None, metavar="PID",
+                        help="drain process (group leader) to SIGKILL "
+                             "mid-campaign")
+    parser.add_argument("--cache-dir", type=Path, default=None,
+                        help="artifact cache whose warm kernel gets "
+                             "corrupted too (workers heal it by "
+                             "recompiling)")
+    parser.add_argument("--corruptions", type=int, default=3,
+                        help="published shard artifacts to corrupt")
+    parser.add_argument("--min-shards", type=int, default=2,
+                        help="published shards to wait for before the "
+                             "violence starts")
+    parser.add_argument("--seed", type=int, default=13,
+                        help="chaos RNG seed (reproducible damage)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="overall deadline in seconds")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    deadline = time.monotonic() + args.timeout
+    hit: set[Path] = set()
+    corrupted = 0
+
+    def victim_alive() -> bool:
+        if args.victim is None:
+            return False
+        try:
+            os.kill(args.victim, 0)
+        except OSError:
+            return False
+        return True
+
+    # Phase 1: wait for real progress, then corrupt published artifacts
+    # while the drain is still running over the same store.
+    while time.monotonic() < deadline:
+        n = len(published_shards(args.journal))
+        if n >= args.min_shards:
+            break
+        if args.victim is not None and not victim_alive():
+            print("chaos: victim exited before any damage", flush=True)
+            break
+        time.sleep(0.05)
+    while corrupted < args.corruptions and time.monotonic() < deadline:
+        if corrupt_one(args.journal, rng, hit):
+            corrupted += 1
+        else:
+            time.sleep(0.05)  # wait for the next publish
+
+    # Phase 2: SIGKILL the whole drain process group (the pool's workers
+    # included), leaving stale leases + burned attempts for the resume.
+    if args.victim is not None and victim_alive():
+        try:
+            os.killpg(args.victim, signal.SIGKILL)
+        except OSError:
+            os.kill(args.victim, signal.SIGKILL)
+        print(f"chaos: SIGKILLed drain process group {args.victim}", flush=True)
+
+    # Phase 3: corrupt the warm kernel artifact the resume will warm-load
+    # by path — its worker must quarantine it and recompile.
+    if args.cache_dir is not None:
+        kernels = sorted((args.cache_dir / "kernels").glob("*.npz"))
+        if kernels and flip_bits(rng.choice(kernels), rng):
+            corrupted += 1
+
+    print(f"chaos: corrupted {corrupted} artifact(s), "
+          f"{len(published_shards(args.journal))} shards published",
+          flush=True)
+    return 0 if corrupted else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

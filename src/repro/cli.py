@@ -165,6 +165,10 @@ def cmd_campaign(args) -> int:
             seed=args.seed,
             scenario=scenario,
         )
+        extra = (
+            {} if args.max_attempts is None
+            else {"max_attempts": args.max_attempts}
+        )
         sweep, stats = run_journaled_sweep(
             spec,
             args.journal_dir,
@@ -174,9 +178,11 @@ def cmd_campaign(args) -> int:
             mode=mode,
             kernel=kernel,
             kernel_backend=kernel_backend,
+            **extra,
         )
         print(f"journal: {stats.summary()}")
     else:
+        stats = None
         # In-memory fast case: the sharded runner's workers<=1 branch runs
         # the identical shard structure serially, so --workers only
         # changes wall-clock.
@@ -190,8 +196,14 @@ def cmd_campaign(args) -> int:
             scenario=scenario,
             context=ctx,
         )
+    degraded = stats is not None and stats.degraded
     if args.json:
         payload = {str(k): sweep[k].as_dict() for k in sorted(sweep)}
+        if degraded:
+            # Only a degraded sweep grows this key, so the healthy-case
+            # payload stays byte-identical to pre-supervision outputs
+            # (CI diffs resumed runs against a serial reference).
+            payload["quarantined"] = list(stats.quarantined)
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote sweep results to {args.json}")
@@ -202,6 +214,17 @@ def cmd_campaign(args) -> int:
             f"({result.detection_rate:.2%})"
         )
         failures += result.trials - result.detected
+    if degraded:
+        # Exit 3: the merge is *incomplete* (quarantined shards withheld
+        # trials) — distinct from exit 1, where every trial ran but some
+        # faults escaped detection.
+        for record in stats.quarantined:
+            print(
+                f"  QUARANTINED k={record.get('num_faults')} "
+                f"shard={record.get('shard')}: {record.get('reason')}",
+                file=sys.stderr,
+            )
+        return 3
     return 0 if failures == 0 else 1
 
 
@@ -367,8 +390,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard-to-worker assignment: greedy cost model or "
                         "ILP makespan solve over measured worker profiles "
                         "(advisory — results are identical either way)")
+    p.add_argument("--max-attempts", type=int, default=None, metavar="N",
+                   help="journaled runs: attempts before a repeatedly "
+                        "failing shard is quarantined as poison instead of "
+                        "retried (default 3); the sweep then completes "
+                        "degraded with exit code 3")
     p.add_argument("--json", default=None, metavar="PATH",
-                   help="also write the merged sweep results as JSON")
+                   help="also write the merged sweep results as JSON "
+                        "(a degraded sweep adds a 'quarantined' key "
+                        "listing the withheld shards)")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_campaign)
 

@@ -143,6 +143,8 @@ class ExecutionContext:
         self.kernel_compiles = 0
         #: Kernel warm loads served from :attr:`store`.
         self.kernel_loads = 0
+        #: Corrupt stored kernels this context quarantined and rebuilt.
+        self.kernel_heals = 0
         self._simulator: PressureSimulator | None = None
         self._tester: Tester | None = None
         self._evaluators: dict[tuple, BatchEvaluator] = {}
@@ -186,11 +188,22 @@ class ExecutionContext:
         are backend-agnostic — the session attaches its
         :attr:`kernel_backend` tier after loading, so a kernel persisted
         under one tier replays identically under any other.
+
+        A stored artifact that fails checksum verification is
+        quarantined and recompiled from the array — the session
+        self-heals instead of crashing (or worse, simulating on corrupt
+        arc tables), and :attr:`kernel_heals` counts the event.
         """
         if self._kernel is None:
+            from repro.store import ArtifactCorruptionError
+
             loaded = None
             if self.store is not None:
-                loaded = self.store.kernels.load(self.fpva)
+                try:
+                    loaded = self.store.kernels.load(self.fpva)
+                except ArtifactCorruptionError as error:
+                    self.store.kernels.heal(self.fpva, error)
+                    self.kernel_heals += 1
             if loaded is not None:
                 self._kernel = loaded
                 self.kernel_loads += 1

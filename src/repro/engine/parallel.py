@@ -106,9 +106,21 @@ def _resolve_kernel(fpva, kernel):
         return fpva, kernel
     cached = _KERNEL_MEMO.get(kernel)
     if cached is None:
-        from repro.store import KernelStore
+        from pathlib import Path
 
-        cached = _KERNEL_MEMO[kernel] = KernelStore.load_file(fpva, kernel)
+        from repro.store import ArtifactCorruptionError, KernelStore
+
+        try:
+            cached = KernelStore.load_file(fpva, kernel)
+        except ArtifactCorruptionError as error:
+            # A corrupt shipped artifact must not poison every shard this
+            # worker runs: quarantine it and recompile from the array —
+            # get_or_compile republishes, so later workers warm-load the
+            # healed artifact instead of re-paying the compile.
+            store = KernelStore(Path(kernel).parent)
+            store.heal(fpva, error)
+            cached = store.get_or_compile(fpva)
+        _KERNEL_MEMO[kernel] = cached
     return cached.fpva, cached
 
 
@@ -208,6 +220,7 @@ def _run_journaled(
     journal_dir,
     resume,
     scheduler,
+    max_attempts=None,
 ):
     """The fabric path shared by the journaled campaign and sweep."""
     from repro.fabric import CampaignSpec, run_journaled_sweep
@@ -223,6 +236,7 @@ def _run_journaled(
         scenario=scenario,
         shard_trials=shard_trials,
     )
+    extra = {} if max_attempts is None else {"max_attempts": max_attempts}
     results, _ = run_journaled_sweep(
         spec,
         journal_dir,
@@ -232,6 +246,7 @@ def _run_journaled(
         mode=mode,
         kernel=kernel,
         kernel_backend=kernel_backend,
+        **extra,
     )
     return results
 

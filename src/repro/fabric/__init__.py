@@ -19,6 +19,17 @@ Shard-to-worker assignment is a pluggable scheduler seam
 exact ILP makespan solve over measured per-worker throughput profiles on
 request — advisory only, the lease protocol owns correctness.
 
+Supervision (:mod:`repro.fabric.supervision`, :mod:`repro.fabric.retry`)
+bounds what crashes *cost*: durable per-shard attempt counts (burned at
+claim time, so SIGKILLed attempts count), bounded retries with
+deterministic-jitter exponential backoff, heartbeat beacons that
+distinguish hung workers from slow ones, and poison quarantine with a
+diagnostic record once a shard's budget is gone.  Published artifacts
+carry content checksums; one that fails verification at merge time is
+quarantined out of the store and healed by re-simulation
+(:meth:`CampaignJournal.heal_artifact`), so corrupt bytes never reach a
+merged result.
+
 Entry points: :func:`run_journaled_sweep` here, or ``journal_dir=`` on
 :func:`repro.engine.run_sweep`/:func:`repro.engine.run_campaign` and
 ``--journal-dir/--resume`` on the CLI ``campaign`` command.
@@ -30,9 +41,11 @@ from repro.fabric.journal import (
     DONE,
     LEASED,
     PENDING,
+    QUARANTINED,
     CampaignJournal,
     JournalMismatch,
 )
+from repro.fabric.retry import DEFAULT_MAX_ATTEMPTS, RetryPolicy
 from repro.fabric.runner import (
     DrainStats,
     ShardWorker,
@@ -48,11 +61,13 @@ from repro.fabric.scheduler import (
     scheduler_names,
 )
 from repro.fabric.shards import ShardStore
+from repro.fabric.supervision import SupervisionLedger
 
 __all__ = [
     "CampaignJournal",
     "CampaignSpec",
     "DEFAULT_LEASE_TIMEOUT",
+    "DEFAULT_MAX_ATTEMPTS",
     "DONE",
     "DrainStats",
     "GreedyScheduler",
@@ -60,9 +75,12 @@ __all__ = [
     "JournalMismatch",
     "LEASED",
     "PENDING",
+    "QUARANTINED",
+    "RetryPolicy",
     "ShardDescriptor",
     "ShardStore",
     "ShardWorker",
+    "SupervisionLedger",
     "WorkerProfile",
     "get_scheduler",
     "load_sweep",

@@ -38,6 +38,12 @@ class ShardDescriptor:
     seed: int
 
     @property
+    def label(self) -> str:
+        """Human-readable coordinates for diagnostics and quarantine
+        records (the digest alone tells an operator nothing)."""
+        return f"k={self.num_faults}/shard={self.shard}"
+
+    @property
     def cost(self) -> float:
         """Scheduler cost estimate: trial-draws dominate, and drawing a
         compatible ``k``-set rejects more as ``k`` grows."""

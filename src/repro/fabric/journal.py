@@ -25,14 +25,27 @@ leaves a *done* shard under a dangling lease, and done always wins.
 ``os.link`` from a fully-written temp file — hard-link creation fails if
 the name exists, so exactly one process wins, and a lease is never
 observable half-written.  **Stale reclaim** removes a lease whose holder
-is provably gone: its pid is dead on this host, or its ``claimed_at`` is
-older than ``lease_timeout`` (the cross-host fallback).  Reclaim itself
-races safely through ``os.replace`` onto a per-process tombstone name —
-only one reclaimer's rename succeeds; everyone then re-contends the
-fresh claim.
+is provably gone: its pid is dead on this host, its heartbeat beacon
+(``heartbeats/<instance>.json``, refreshed at every drain-loop
+transition) has gone stale — which catches a *hung* worker whose pid is
+still alive — or, when the holder never beat, its ``claimed_at`` is
+older than ``lease_timeout`` (the cross-host fallback).  A fresh
+heartbeat conversely *protects* a slow worker's lease past the claim
+timeout.  Reclaim itself races safely through ``os.replace`` onto a
+per-process tombstone name — only one reclaimer's rename succeeds;
+everyone then re-contends the fresh claim.
 
-The clock is injectable (``clock=``) so stale-lease semantics are unit
-testable without sleeping.
+**Supervision** (:mod:`repro.fabric.supervision`) adds two more durable
+record families: per-shard attempt counts (incremented at claim time, so
+even a SIGKILLed attempt burns budget) and poison-quarantine diagnostics
+— a shard whose budget is exhausted is *quarantined*: skipped by every
+claim loop, reported in :class:`~repro.fabric.runner.DrainStats`, never
+retried forever and never silently merged.  Corrupt published artifacts
+are healed through :meth:`CampaignJournal.heal_artifact`: the artifact
+moves to ``quarantine/`` and the shard re-enters as pending.
+
+The clock is injectable (``clock=``) so stale-lease, heartbeat and
+quarantine semantics are unit testable without sleeping.
 """
 
 from __future__ import annotations
@@ -41,18 +54,23 @@ import json
 import os
 import socket
 import time
+import uuid
 from pathlib import Path
 
 from repro.store.digest import STORE_FORMAT_VERSION
+from repro.store.integrity import ArtifactCorruptionError, quarantine
 
 from repro.fabric.descriptors import CampaignSpec, ShardDescriptor
 from repro.fabric.shards import ShardStore
+from repro.fabric.supervision import SupervisionLedger
 
 #: Cross-host stale-lease fallback: a lease older than this is presumed
 #: abandoned even when its holder's liveness cannot be probed.
 DEFAULT_LEASE_TIMEOUT = 300.0
 
-PENDING, LEASED, DONE = "pending", "leased", "done"
+PENDING, LEASED, DONE, QUARANTINED = (
+    "pending", "leased", "done", "quarantined",
+)
 
 
 class JournalMismatch(ValueError):
@@ -86,11 +104,19 @@ class CampaignJournal:
         self.lease_timeout = float(lease_timeout)
         self.clock = clock
         self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
+        #: Unique id of this journal *instance* — the heartbeat key its
+        #: leases carry.  Never reused across processes or re-opens, so a
+        #: resumed run can never refresh a dead predecessor's beacon.
+        self.instance = uuid.uuid4().hex[:12]
+        #: Durable attempt counts, poison quarantine and heartbeats.
+        self.supervision = SupervisionLedger(self.root, clock=clock)
         #: Shards observed already-published by someone else (first
         #: observation per digest) — the resume cache-hit counter.
         self.cache_hits = 0
         #: Stale leases this journal reclaimed.
         self.reclaimed = 0
+        #: Corrupt artifacts this journal quarantined out of its store.
+        self.corrupt_quarantined = 0
         self._seen_done: set[str] = set()
 
     # -- manifest ------------------------------------------------------------
@@ -142,6 +168,8 @@ class CampaignJournal:
     def state(self, descriptor: ShardDescriptor) -> str:
         if self.store.has(descriptor.digest):
             return DONE
+        if self.supervision.is_quarantined(descriptor.digest):
+            return QUARANTINED
         if self._lease_path(descriptor.digest).exists():
             return LEASED
         return PENDING
@@ -160,6 +188,7 @@ class CampaignJournal:
             "owner": self.owner,
             "pid": os.getpid(),
             "host": socket.gethostname(),
+            "instance": self.instance,
             "claimed_at": self.clock(),
         }
         tmp = self.leases / f".{digest}.tmp-{os.getpid()}"
@@ -189,6 +218,15 @@ class CampaignJournal:
             and not _pid_alive(lease["pid"])
         ):
             return True
+        # A heartbeat beacon outranks the claim-time timeout both ways: a
+        # stale beat marks a *hung* holder (alive pid, wedged drain loop)
+        # stale immediately, and a fresh beat protects a slow-but-alive
+        # holder's lease past the claim timeout.
+        instance = lease.get("instance")
+        if instance:
+            age = self.supervision.heartbeat_age(instance)
+            if age is not None:
+                return age > self.lease_timeout
         claimed_at = lease.get("claimed_at", 0.0)
         return (self.clock() - claimed_at) > self.lease_timeout
 
@@ -210,18 +248,87 @@ class CampaignJournal:
         except FileNotFoundError:
             pass  # reclaimed from us, or crash-recovery housekeeping
 
+    # -- supervision ---------------------------------------------------------
+    def beat(self) -> None:
+        """Refresh this instance's heartbeat (protects its live leases)."""
+        self.supervision.beat(self.instance, owner=self.owner)
+
+    def note_attempt(self, descriptor: ShardDescriptor, worker: str = "") -> int:
+        """Durably burn one attempt for a claimed shard; the new count."""
+        return self.supervision.note_attempt(descriptor, worker or self.owner)
+
+    def attempts(self, digest: str) -> int:
+        return self.supervision.attempts(digest)
+
+    def record_failure(
+        self, descriptor: ShardDescriptor, error: BaseException, worker: str = ""
+    ) -> int:
+        return self.supervision.record_failure(
+            descriptor, error, worker or self.owner
+        )
+
+    def quarantine_shard(
+        self,
+        descriptor: ShardDescriptor,
+        *,
+        reason: str,
+        attempts: int,
+        worker: str = "",
+    ):
+        """Park a poison shard with its diagnostic record."""
+        return self.supervision.quarantine_shard(
+            descriptor,
+            reason=reason,
+            attempts=attempts,
+            worker=worker or self.owner,
+        )
+
+    def quarantined(self) -> list[dict]:
+        return self.supervision.quarantined()
+
+    def requeue(self, digest: str) -> bool:
+        """Clear a poison record so the shard is claimable again."""
+        return self.supervision.requeue(digest)
+
+    def heal_artifact(
+        self, descriptor: ShardDescriptor, error: ArtifactCorruptionError
+    ) -> Path | None:
+        """Quarantine one corrupt *published* shard artifact.
+
+        The artifact directory moves into ``<root>/quarantine/`` with a
+        ``.reason.json`` diagnostic; :meth:`done` is then false again, so
+        the shard re-enters the journal as pending and heals by being
+        re-simulated — the corrupt bytes are never merged.  The attempt
+        budget is reset: corruption is a storage fault, not the
+        workload's.
+        """
+        self._seen_done.discard(descriptor.digest)
+        pen = quarantine(
+            self.root,
+            self.store.path_for(descriptor.digest),
+            f"shard {descriptor.label}: {error.reason}",
+        )
+        if pen is not None:
+            self.corrupt_quarantined += 1
+        self.supervision.clear_attempts(descriptor.digest)
+        return pen
+
     # -- the claim loop ------------------------------------------------------
     def claim(self, descriptors) -> ShardDescriptor | None:
         """Claim the first claimable shard of ``descriptors``, or ``None``.
 
         Skips *done* shards (releasing any dangling lease a
-        post-publish-pre-release crash left behind), reclaims stale
-        leases, and leaves fresh foreign leases alone.  ``None`` means
-        every remaining shard is done or actively leased elsewhere.
+        post-publish-pre-release crash left behind) and *quarantined*
+        shards (poison workloads stay parked until requeued), reclaims
+        stale leases, and leaves fresh foreign leases alone.  ``None``
+        means every remaining shard is done, quarantined, or actively
+        leased elsewhere.
         """
         for descriptor in descriptors:
             if self.done(descriptor):
                 self.release(descriptor)  # post-publish crash housekeeping
+                continue
+            if self.supervision.is_quarantined(descriptor.digest):
                 continue
             if self._try_acquire(descriptor.digest):
                 # Re-check done *after* winning the lease: the previous

@@ -1,0 +1,87 @@
+"""Bounded retries: exponential backoff with deterministic jitter.
+
+One policy object serves every wait in the fabric — the supervision
+loop's backoff between shard attempts and the runner's re-poll while
+foreign processes hold fresh leases.  Three properties matter:
+
+* **Bounded.**  ``max_attempts`` caps how often a failing unit of work
+  is retried before the supervisor declares it poison; delays cap at
+  ``max_delay`` so a long outage never produces hour-long sleeps.
+
+* **Deterministic jitter.**  Retry storms are avoided by jitter, but the
+  fabric's reproducibility story forbids RNG state: the jitter fraction
+  is derived by mixing a caller-supplied integer key (typically the
+  shard's content digest via :func:`repro.store.digest.digest_int`) with
+  the attempt number through the splitmix64 finalizer — every host
+  computes the same schedule for the same shard, and different shards
+  de-synchronize.
+
+* **Injectable time.**  ``sleep`` is passed at call time (the journal's
+  ``clock=`` seam's sibling), so supervision tests run the whole retry
+  schedule without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.seeding import mix_seed
+
+#: Attempts after which a repeatedly-failing shard is declared poison
+#: and quarantined with a diagnostic record instead of retried forever.
+DEFAULT_MAX_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff schedule with deterministic jitter.
+
+    ``delay(attempt, key)`` for attempt 1, 2, 3… is
+    ``base * growth**(attempt-1)``, capped at ``max_delay``, then spread
+    over ``[1 - jitter, 1]`` of itself by the key/attempt hash.
+    """
+
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    base: float = 0.05
+    growth: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.5
+
+    def exhausted(self, attempts: int) -> bool:
+        """Whether ``attempts`` tries have used up the retry budget."""
+        return attempts >= self.max_attempts
+
+    def delay(self, attempt: int, key: int = 0) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            return 0.0
+        raw = min(self.base * self.growth ** (attempt - 1), self.max_delay)
+        if self.jitter <= 0:
+            return raw
+        # splitmix64 over (key, attempt): uniform in [0, 1), identical on
+        # every host, distinct across shards.
+        unit = (mix_seed(int(key), attempt) >> 11) / float(1 << 53)
+        return raw * (1.0 - self.jitter * unit)
+
+    def wait(
+        self,
+        attempt: int,
+        key: int = 0,
+        *,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> float:
+        """Sleep out the backoff for ``attempt``; returns the delay used."""
+        delay = self.delay(attempt, key)
+        if delay > 0:
+            sleep(delay)
+        return delay
+
+
+#: The runner's re-poll schedule while foreign leases are still fresh:
+#: starts at the historic 0.1s poll interval and backs off to 2s, with
+#: unbounded attempts (polling is not a failure path).
+POLL_POLICY = RetryPolicy(
+    max_attempts=0, base=0.1, growth=1.5, max_delay=2.0, jitter=0.25
+)

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.store.integrity import ArtifactCorruptionError
+
 from repro.fabric.descriptors import ShardDescriptor
 from repro.fabric.shards import ShardStore
 
@@ -64,7 +66,12 @@ def measure_profiles(store: ShardStore, descriptors) -> dict[str, WorkerProfile]
     for descriptor in descriptors:
         if not store.has(descriptor.digest):
             continue
-        meta = store.meta(descriptor.digest)
+        try:
+            meta = store.meta(descriptor.digest)
+        except ArtifactCorruptionError:
+            # Scheduling is advisory; the healing merge deals with the
+            # corrupt artifact itself later.
+            continue
         worker = meta.get("worker") or ""
         elapsed = float(meta.get("elapsed") or 0.0)
         if not worker or elapsed <= 0:

@@ -195,11 +195,20 @@ class FaultDictionary:
                 fpva, self.vectors, self.universe, max_cardinality
             )
             if self.store.dictionaries.has(self.digest):
-                self._table = self.store.dictionaries.load(
-                    self.digest, self.universe
-                )
-                self.warm_loaded = True
-                return
+                from repro.store import ArtifactCorruptionError
+
+                try:
+                    self._table = self.store.dictionaries.load(
+                        self.digest, self.universe
+                    )
+                except ArtifactCorruptionError as error:
+                    # Quarantine the corrupt chunks and fall through to a
+                    # cold build, whose writer republishes the artifact —
+                    # a damaged cache heals instead of crashing diagnosis.
+                    self.store.dictionaries.heal(self.digest, error)
+                else:
+                    self.warm_loaded = True
+                    return
         self._build()
 
     # -- construction ------------------------------------------------------

@@ -19,6 +19,14 @@ content-addressed by a stable digest of what they were compiled from
 Cache invalidation is purely by content addressing: any change to the
 layout, vector suite, fault universe or cardinality produces a new digest
 and therefore a cold build; stale entries are never reinterpreted.
+
+Integrity (:mod:`repro.store.integrity`): every published artifact
+records a BLAKE2b checksum of its payload bytes; loads verify lazily and
+a mismatch raises :class:`ArtifactCorruptionError`, which callers convert
+into quarantine-and-rebuild — the corrupt evidence moves to a
+``quarantine/`` directory beside the store and the artifact is re-derived
+from source (kernels recompile, dictionary chunks re-simulate, campaign
+shards re-enter their journal as pending).
 """
 
 from __future__ import annotations
@@ -30,10 +38,19 @@ from repro.store.dictionaries import DictionaryStore, DictionaryWriter
 from repro.store.digest import (
     STORE_FORMAT_VERSION,
     dictionary_digest,
+    digest_int,
     fault_key,
     kernel_digest,
     layout_key,
     vector_key,
+)
+from repro.store.integrity import (
+    ArtifactCorruptionError,
+    data_checksum,
+    file_checksum,
+    quarantine,
+    quarantined_artifacts,
+    verify_file,
 )
 from repro.store.kernels import KernelStore
 
@@ -58,15 +75,21 @@ def as_store(store) -> ArtifactStore | None:
 
 
 __all__ = [
+    "ArtifactCorruptionError",
     "ArtifactStore",
     "DictionaryStore",
     "DictionaryWriter",
     "KernelStore",
     "STORE_FORMAT_VERSION",
     "as_store",
+    "data_checksum",
     "dictionary_digest",
+    "digest_int",
     "fault_key",
+    "file_checksum",
     "kernel_digest",
     "layout_key",
+    "quarantine",
+    "quarantined_artifacts",
     "vector_key",
 ]

@@ -23,14 +23,22 @@ The writer appends chunks as a **streaming** build produces them, so the
 producer never holds more than one chunk of encoded rows; ``meta.json``
 doubles as the completeness marker (it is written last, inside a temp
 directory that is atomically renamed into place), so a crashed build
-leaves nothing addressable.
+leaves nothing addressable.  Every payload file is fsynced before the
+publish rename (power loss cannot leave an empty chunk behind the
+marker), and ``meta.json`` records a BLAKE2b checksum per file —
+:meth:`DictionaryStore.load` verifies each file's bytes before parsing
+them and raises :exc:`~repro.store.integrity.ArtifactCorruptionError`
+on a mismatch, which callers convert into quarantine-and-rebuild
+(:class:`~repro.sim.diagnosis.FaultDictionary` re-simulates the table).
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import shutil
+import zipfile
 from collections import defaultdict
 from pathlib import Path
 from typing import Sequence
@@ -38,6 +46,14 @@ from typing import Sequence
 import numpy as np
 
 from repro.store.digest import STORE_FORMAT_VERSION
+from repro.store.integrity import (
+    ArtifactCorruptionError,
+    data_checksum,
+    fsync_dir,
+    load_json,
+    quarantine,
+    verify_file,
+)
 
 #: Encoded rows buffered before a chunk file is flushed to disk.
 CHUNK_ROWS = 16384
@@ -125,9 +141,19 @@ class DictionaryWriter:
         self._syndrome_ids: dict = {}
         self._rows: list[tuple[int, ...]] = []
         self._row_syndromes: list[int] = []
+        self._checksums: dict[str, str] = {}
         self._chunks = 0
         self._total = 0
         self._committed = False
+
+    def _write_payload(self, name: str, payload: bytes) -> None:
+        """Write one artifact file durably, recording its checksum."""
+        path = self._tmp / name
+        with open(path, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._checksums[name] = data_checksum(payload)
 
     def add(self, indices: Sequence[int], syndrome) -> None:
         """Record one detected fault set (universe indices) + its syndrome."""
@@ -144,26 +170,33 @@ class DictionaryWriter:
     def _flush_chunk(self) -> None:
         if not self._rows:
             return
-        path = self._tmp / f"chunk-{self._chunks:05d}.npz"
-        with open(path, "wb") as fh:
-            np.savez(
-                fh,
-                sets=np.array(self._rows, dtype=np.int32),
-                syndromes=np.array(self._row_syndromes, dtype=np.int32),
-            )
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            sets=np.array(self._rows, dtype=np.int32),
+            syndromes=np.array(self._row_syndromes, dtype=np.int32),
+        )
+        self._write_payload(f"chunk-{self._chunks:05d}.npz", buffer.getvalue())
         self._total += len(self._rows)
         self._rows = []
         self._row_syndromes = []
         self._chunks += 1
 
     def commit(self) -> Path:
-        """Flush, write the syndrome table and metadata, publish atomically."""
+        """Flush, write the syndrome table and metadata, publish atomically.
+
+        Every payload is fsynced (file, then the temp directory, then the
+        store root after the rename) so the completeness marker can never
+        outlive a power loss that its payloads didn't.
+        """
         self._flush_chunk()
         # Insertion order == id order, so the dict iterates id-sorted.
-        with open(self._tmp / "syndromes.json", "w") as fh:
-            json.dump(
-                encode_syndromes(self._syndrome_ids), fh, separators=(",", ":")
-            )
+        self._write_payload(
+            "syndromes.json",
+            json.dumps(
+                encode_syndromes(self._syndrome_ids), separators=(",", ":")
+            ).encode(),
+        )
         meta = {
             **self._meta,
             "version": STORE_FORMAT_VERSION,
@@ -171,9 +204,13 @@ class DictionaryWriter:
             "chunks": self._chunks,
             "fault_sets": self._total,
             "distinct_syndromes": len(self._syndrome_ids),
+            "checksums": dict(sorted(self._checksums.items())),
         }
         with open(self._tmp / "meta.json", "w") as fh:
             json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        fsync_dir(self._tmp)
         try:
             os.replace(self._tmp, self._final)
         except OSError:
@@ -183,6 +220,7 @@ class DictionaryWriter:
             if not (self._final / "meta.json").exists():
                 raise
             shutil.rmtree(self._tmp)
+        fsync_dir(self._final.parent)
         self._committed = True
         return self._final
 
@@ -206,8 +244,16 @@ class DictionaryStore:
         return (self.path_for(digest) / "meta.json").exists()
 
     def meta(self, digest: str) -> dict:
-        with open(self.path_for(digest) / "meta.json") as fh:
-            return json.load(fh)
+        """The completeness marker — a torn file types as corruption."""
+        return load_json(self.path_for(digest) / "meta.json")
+
+    def heal(self, digest: str, error: ArtifactCorruptionError) -> Path | None:
+        """Quarantine one corrupt dictionary artifact directory.
+
+        After the move :meth:`has` is false again, so the ordinary cold
+        build re-simulates the table — chunks heal by rebuilding.
+        """
+        return quarantine(self.root, self.path_for(digest), error.reason)
 
     def writer(
         self, digest: str, cardinality: int, meta: dict | None = None
@@ -235,8 +281,22 @@ class DictionaryStore:
                 f"dictionary artifact {directory} was built against a "
                 f"{meta['universe_size']}-fault universe, got {len(universe)}"
             )
-        with open(directory / "syndromes.json") as fh:
-            syndromes = decode_syndromes(json.load(fh))
+        # Checksums recorded at publish; absent on pre-integrity artifacts,
+        # which load unverified exactly as they always did.
+        checksums = meta.get("checksums") or {}
+        try:
+            syndromes = decode_syndromes(
+                json.loads(
+                    verify_file(
+                        directory / "syndromes.json",
+                        checksums.get("syndromes.json"),
+                    )
+                )
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError) as exc:
+            raise ArtifactCorruptionError(
+                directory / "syndromes.json", f"unparseable payload: {exc}"
+            )
         # Table keys are created in syndrome-id (= first-seen) order, and
         # each row appends through a pre-resolved bucket reference — the
         # nested syndrome tuples are hashed once per *syndrome*, never per
@@ -245,9 +305,16 @@ class DictionaryStore:
         buckets = [table[syndrome] for syndrome in syndromes]
         faults = list(universe)
         for chunk in range(meta["chunks"]):
-            with np.load(directory / f"chunk-{chunk:05d}.npz") as data:
-                rows = data["sets"].tolist()
-                sids = data["syndromes"].tolist()
+            name = f"chunk-{chunk:05d}.npz"
+            payload = verify_file(directory / name, checksums.get(name))
+            try:
+                with np.load(io.BytesIO(payload)) as data:
+                    rows = data["sets"].tolist()
+                    sids = data["syndromes"].tolist()
+            except (zipfile.BadZipFile, KeyError, OSError) as exc:
+                raise ArtifactCorruptionError(
+                    directory / name, f"unparseable payload: {exc}"
+                )
             if meta["cardinality"] == 1:
                 for row, sid in zip(rows, sids):
                     buckets[sid].append((faults[row[0]],))

@@ -94,6 +94,17 @@ def digest_of(*parts) -> str:
     return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
 
+def digest_int(digest: str, bits: int = 64) -> int:
+    """The leading ``bits`` of a hex content digest as an integer.
+
+    Content digests double as deterministic per-artifact entropy: the
+    fabric's retry backoff derives its jitter from the shard digest, so
+    two workers retrying the same shard de-synchronize identically on
+    every host with no RNG state to persist.
+    """
+    return int(digest[: bits // 4], 16)
+
+
 def kernel_digest(fpva: FPVA) -> str:
     """Cache key of a compiled :class:`ReachabilityKernel`."""
     return digest_of("kernel", STORE_FORMAT_VERSION, layout_key(fpva))

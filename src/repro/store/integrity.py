@@ -1,0 +1,215 @@
+"""Artifact integrity: checksums, durable publishes, and quarantine.
+
+Every store in this package publishes atomically (temp + ``os.replace``)
+so a *crash* never leaves a half-written artifact addressable.  That
+protocol says nothing about what happens **after** publish: a bit flip
+on disk, a torn ``meta.json`` from a power loss, or an operator ``dd``
+accident would previously either crash a warm load or — far worse —
+silently poison a merged campaign result we promise is bit-identical.
+
+This module is the shared discipline the stores now follow:
+
+* **Checksums.**  Every published payload records a BLAKE2b content
+  checksum in its completeness marker (:func:`file_checksum` /
+  :func:`data_checksum`).  Loads verify lazily — at read time, on
+  exactly the bytes about to be parsed — and a mismatch raises the
+  typed :exc:`ArtifactCorruptionError` instead of whatever exception
+  the corrupted parser would have thrown.
+
+* **Durability.**  :func:`fsync_file` / :func:`fsync_dir` flush a
+  payload (and its directory entry) to stable storage *before* the
+  atomic rename, so a power loss cannot leave a published-but-empty
+  artifact behind the completeness marker.
+
+* **Quarantine.**  :func:`quarantine` moves a corrupt artifact into a
+  ``quarantine/`` sibling directory (never deletes — the evidence is
+  for the operator) and drops a ``<name>.reason.json`` diagnostic next
+  to it.  After the move the artifact is simply *absent* from the
+  store, so the ordinary cold-build path regenerates it: kernels
+  recompile, dictionary chunks re-simulate, shards re-enter their
+  journal as pending.  Corruption therefore heals through the same
+  code paths a cache miss takes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+#: Filename of the per-artifact diagnostic record written on quarantine.
+REASON_SUFFIX = ".reason.json"
+
+#: Hex-digest size used for artifact content checksums (BLAKE2b).
+CHECKSUM_DIGEST_SIZE = 16
+
+_CHUNK = 1 << 20
+
+
+class ArtifactCorruptionError(RuntimeError):
+    """A stored artifact failed integrity verification.
+
+    Carries enough context for the caller to quarantine and rebuild:
+    the artifact ``path`` that failed and a human-readable ``reason``.
+    Callers are expected to convert this into quarantine-and-rebuild,
+    never to merge or serve the corrupt payload.
+    """
+
+    def __init__(self, path: str | os.PathLike, reason: str):
+        self.path = Path(path)
+        self.reason = reason
+        super().__init__(f"corrupt artifact {self.path}: {reason}")
+
+
+def data_checksum(payload: bytes) -> str:
+    """BLAKE2b hex checksum of an in-memory payload."""
+    return hashlib.blake2b(
+        payload, digest_size=CHECKSUM_DIGEST_SIZE
+    ).hexdigest()
+
+
+def file_checksum(path: str | os.PathLike) -> str:
+    """Streaming BLAKE2b hex checksum of a file's bytes."""
+    digest = hashlib.blake2b(digest_size=CHECKSUM_DIGEST_SIZE)
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(_CHUNK)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def verify_file(path: str | os.PathLike, expected: str | None) -> bytes:
+    """Read ``path`` fully, verifying its checksum on the way.
+
+    Returns the verified bytes (so callers parse exactly what was
+    hashed — no read-verify-reread race).  ``expected=None`` marks a
+    legacy artifact published before checksums existed: it loads
+    unverified, exactly as it always did.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = fh.read()
+    except FileNotFoundError:
+        raise ArtifactCorruptionError(path, "payload file is missing") from None
+    if expected is not None:
+        actual = data_checksum(payload)
+        if actual != expected:
+            raise ArtifactCorruptionError(
+                path, f"checksum mismatch (expected {expected}, got {actual})"
+            )
+    return payload
+
+
+def fsync_file(path: str | os.PathLike) -> None:
+    """Flush one file's contents to stable storage."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """Flush a directory entry (new/renamed children) to stable storage.
+
+    Best-effort on filesystems that refuse ``fsync`` on directories —
+    the atomic-rename protocol is still crash-safe there, just not
+    power-loss-proof.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def fsync_tree(directory: str | os.PathLike) -> None:
+    """Flush every file in ``directory`` (then the directory itself)."""
+    directory = Path(directory)
+    for child in sorted(directory.iterdir()):
+        if child.is_file():
+            fsync_file(child)
+    fsync_dir(directory)
+
+
+def load_json(path: str | os.PathLike) -> dict:
+    """Parse a completeness marker, typing torn/absent files as corruption.
+
+    A ``meta.json`` that exists but does not parse is exactly the torn
+    write this layer exists to catch — surfacing it as
+    :exc:`ArtifactCorruptionError` lets every caller share one
+    quarantine-and-rebuild path instead of special-casing
+    ``JSONDecodeError``.
+    """
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+        raise ArtifactCorruptionError(path, f"unreadable metadata: {exc}")
+
+
+def quarantine(
+    root: str | os.PathLike, artifact: str | os.PathLike, reason: str
+) -> Path | None:
+    """Move a corrupt artifact (file or directory) into ``root/quarantine``.
+
+    Returns the quarantined path, or ``None`` when the artifact vanished
+    meanwhile (a concurrent healer won — their quarantine carries the
+    evidence).  Repeated quarantines of the same name get ``-1``, ``-2``
+    … suffixes, so evidence from independent corruption events never
+    overwrites.  A ``<name>.reason.json`` diagnostic records why, when,
+    and by whom.
+    """
+    artifact = Path(artifact)
+    pen = Path(root) / "quarantine"
+    pen.mkdir(parents=True, exist_ok=True)
+    target = pen / artifact.name
+    bump = 0
+    while target.exists():
+        bump += 1
+        target = pen / f"{artifact.name}-{bump}"
+    try:
+        os.replace(artifact, target)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        # Cross-device or directory-over-directory edge: fall back to a
+        # copy-then-remove move (still never deletes without preserving).
+        shutil.move(str(artifact), str(target))
+    record = {
+        "artifact": artifact.name,
+        "quarantined_from": str(artifact.parent),
+        "reason": reason,
+        "pid": os.getpid(),
+        "quarantined_at": time.time(),
+    }
+    with open(f"{target}{REASON_SUFFIX}", "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+    return target
+
+
+def quarantined_artifacts(root: str | os.PathLike) -> list[dict]:
+    """The diagnostic records under ``root/quarantine`` (operator view)."""
+    pen = Path(root) / "quarantine"
+    if not pen.is_dir():
+        return []
+    records = []
+    for reason_file in sorted(pen.glob(f"*{REASON_SUFFIX}")):
+        try:
+            with open(reason_file) as fh:
+                records.append(json.load(fh))
+        except (json.JSONDecodeError, OSError):  # pragma: no cover
+            records.append({"artifact": reason_file.name, "reason": "unreadable"})
+    return records
