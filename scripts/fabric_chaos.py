@@ -39,6 +39,26 @@ import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.store.integrity import fsync_dir, fsync_file  # noqa: E402
+
+
+def publish_damage(path: Path, payload: bytes) -> None:
+    """Replace ``path`` with ``payload`` atomically, fsynced.
+
+    The drain is live while the chaos runs: a raw in-place write could
+    expose a *torn* artifact to a concurrently verifying reader on slow
+    filesystems, turning injected bit rot into an unplanned partial-write
+    test.  Damage must be just as atomic as a real publish — the reader
+    sees the old bytes or the corrupted bytes, never a mix.
+    """
+    tmp = path.with_name(path.name + f".chaos-tmp-{os.getpid()}")
+    tmp.write_bytes(payload)
+    fsync_file(tmp)
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
 
 def published_shards(journal: Path) -> list[Path]:
     """Directories of completely published shards (meta.json present)."""
@@ -57,7 +77,7 @@ def flip_bits(path: Path, rng: random.Random) -> bool:
         return False
     index = rng.randrange(len(data))
     data[index] ^= 0xFF
-    path.write_bytes(bytes(data))
+    publish_damage(path, bytes(data))
     print(f"chaos: flipped byte {index} of {path}", flush=True)
     return True
 
@@ -70,7 +90,7 @@ def truncate(path: Path) -> bool:
         return False
     if not data:
         return False
-    path.write_bytes(data[: len(data) // 2])
+    publish_damage(path, data[: len(data) // 2])
     print(f"chaos: truncated {path} to {len(data) // 2} bytes", flush=True)
     return True
 

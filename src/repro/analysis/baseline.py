@@ -1,0 +1,179 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry says "this finding is known, justified, and allowed to
+stay" — it is the file-level counterpart of an inline ``# repro:
+ignore[...]`` comment, for findings that predate the rule or that an
+inline comment can't reach (generated files, findings whose fix is a
+separate PR).  Every entry must carry a non-empty ``justification``;
+loading rejects entries without one, so the baseline can't silently
+accumulate unexplained exemptions.
+
+Matching is by fingerprint (rule + path + normalized source line +
+occurrence index — see :func:`repro.analysis.core.fingerprint`), so a
+baselined finding survives unrelated edits that shift its line number,
+but *not* edits to the flagged line itself: touch the line, re-earn the
+exemption.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .core import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed or an entry lacks a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    line: int
+    message: str
+    justification: str
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "line": self.line,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+def parse_baseline(payload: dict) -> list[BaselineEntry]:
+    """Validate a decoded baseline document into entries."""
+    if not isinstance(payload, dict):
+        raise BaselineError("baseline must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    raw_entries = payload.get("entries")
+    if not isinstance(raw_entries, list):
+        raise BaselineError("baseline 'entries' must be a list")
+    entries = []
+    for i, raw in enumerate(raw_entries):
+        if not isinstance(raw, dict):
+            raise BaselineError(f"entry {i} is not an object")
+        missing = [
+            key
+            for key in ("rule", "path", "fingerprint", "justification")
+            if not isinstance(raw.get(key), str)
+        ]
+        if missing:
+            raise BaselineError(
+                f"entry {i} is missing string field(s): {', '.join(missing)}"
+            )
+        if not raw["justification"].strip():
+            raise BaselineError(
+                f"entry {i} ({raw['rule']} at {raw['path']}) has an empty "
+                f"justification — every grandfathered finding must say why"
+            )
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                fingerprint=raw["fingerprint"],
+                line=int(raw.get("line", 0)),
+                message=str(raw.get("message", "")),
+                justification=raw["justification"],
+            )
+        )
+    return entries
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Load and validate a baseline file; a missing file is empty."""
+    if not path.exists():
+        return []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+    return parse_baseline(payload)
+
+
+def render_baseline(entries: Iterable[BaselineEntry]) -> str:
+    """Serialize entries into the canonical committed form (sorted,
+    trailing newline) so regeneration is diff-stable."""
+    ordered = sorted(entries, key=lambda e: (e.path, e.rule, e.fingerprint))
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.as_dict() for entry in ordered],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def write_baseline(path: Path, entries: Iterable[BaselineEntry]) -> None:
+    path.write_text(render_baseline(entries), encoding="utf-8")
+
+
+def entries_from_findings(
+    findings: Iterable[Finding],
+    previous: Iterable[BaselineEntry] = (),
+    placeholder: str = "TODO: justify or fix",
+) -> list[BaselineEntry]:
+    """Baseline entries for ``findings``, carrying forward justifications
+    from ``previous`` where fingerprints still match."""
+    kept = {entry.fingerprint: entry.justification for entry in previous}
+    return [
+        BaselineEntry(
+            rule=f.rule,
+            path=f.path,
+            fingerprint=f.fingerprint,
+            line=f.line,
+            message=f.message,
+            justification=kept.get(f.fingerprint, placeholder),
+        )
+        for f in findings
+    ]
+
+
+def split_by_baseline(
+    findings: Iterable[Finding],
+    entries: Iterable[BaselineEntry],
+    analyzed_paths: Iterable[str] | None = None,
+) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+    """Partition into (new findings, baselined findings, stale entries).
+
+    Stale entries are baseline lines whose finding no longer occurs —
+    under ``--strict`` they fail the run, forcing the baseline to shrink
+    as violations are actually fixed.  When ``analyzed_paths`` is given
+    (a partial lint of a path subset), only entries for files that were
+    actually analyzed can read as stale; entries outside the subset are
+    simply unjudged.
+    """
+    by_fp = {entry.fingerprint: entry for entry in entries}
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        if finding.fingerprint in by_fp:
+            matched.append(finding)
+            seen.add(finding.fingerprint)
+        else:
+            new.append(finding)
+    judged = None if analyzed_paths is None else set(analyzed_paths)
+    stale = [
+        entry
+        for fp, entry in by_fp.items()
+        if fp not in seen and (judged is None or entry.path in judged)
+    ]
+    stale.sort(key=lambda e: (e.path, e.rule, e.fingerprint))
+    return new, matched, stale

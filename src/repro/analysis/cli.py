@@ -1,0 +1,255 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 new
+findings (errors by default; any severity under ``--strict``, which
+also fails on stale baseline entries), 2 usage/configuration problems
+(unreadable baseline, unknown rule, no files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import baseline as baseline_mod
+from .baseline import (
+    DEFAULT_BASELINE,
+    BaselineError,
+    entries_from_findings,
+    load_baseline,
+    split_by_baseline,
+    write_baseline,
+)
+from .core import Finding, analyze_files
+from .rules import all_rules
+
+#: What gets analyzed when no explicit paths are given.
+DEFAULT_TARGETS = ("src/repro", "scripts", "examples")
+
+#: Files mypy is scoped to (matches mypy.ini's ``files``): the layers
+#: whose type discipline the store/fabric guarantees lean on.
+MYPY_SCOPE = ("src/repro/store", "src/repro/fabric", "src/repro/context.py")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description=(
+            "static analysis enforcing the repo's determinism, "
+            "atomic-publish, and session invariants"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help=f"files/directories to analyze (default: {', '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repository root (default: auto-detected from this file)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings "
+             "(preserves existing justifications; new entries get a "
+             "TODO placeholder you must fill in)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write the full JSON report to this file",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings and on stale baseline entries, not just "
+             "new errors",
+    )
+    parser.add_argument(
+        "--mypy", action="store_true",
+        help="also run the scoped mypy pass (skipped with a note if "
+             "mypy is not installed)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def detect_root(start: Path | None = None) -> Path:
+    """The repository root: nearest ancestor holding ``src/repro``."""
+    here = start if start is not None else Path(__file__).resolve()
+    for candidate in [here, *here.parents]:
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return Path.cwd()
+
+
+def _print_rule_table() -> None:
+    print(f"{'ID':<5} {'severity':<8} {'name':<20} rationale")
+    for rule in all_rules():
+        print(f"{rule.id:<5} {rule.severity:<8} {rule.name:<20} {rule.rationale}")
+
+
+def run_mypy(root: Path) -> tuple[int, str]:
+    """The scoped mypy pass; (exit, transcript).  Exit 0 when mypy is
+    absent — the container cannot install it, CI does."""
+    try:
+        import mypy  # noqa: F401
+    except ImportError:
+        return 0, "mypy not installed; scoped type pass skipped (CI runs it)"
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(root / "mypy.ini")],
+        cwd=root,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, (proc.stdout + proc.stderr).strip()
+
+
+def _report(
+    new: list[Finding],
+    matched: list[Finding],
+    stale: list,
+    suppressed: list[Finding],
+    files: int,
+) -> dict:
+    return {
+        "files": files,
+        "new": [f.as_dict() for f in new],
+        "baselined": [f.as_dict() for f in matched],
+        "stale_baseline": [e.as_dict() for e in stale],
+        "suppressed": [f.as_dict() for f in suppressed],
+        "counts": {
+            "new": len(new),
+            "new_errors": sum(1 for f in new if f.severity == "error"),
+            "baselined": len(matched),
+            "stale_baseline": len(stale),
+            "suppressed": len(suppressed),
+        },
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    try:
+        return _run(argv)
+    except BrokenPipeError:
+        # The stdout consumer (`repro lint ... | head`) closed the pipe;
+        # redirect to devnull so the interpreter's shutdown flush does
+        # not traceback, and report failure per the python docs' recipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+
+
+def _run(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_table()
+        return 0
+
+    root = (args.root or detect_root()).resolve()
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE)
+    targets = list(args.paths) or list(DEFAULT_TARGETS)
+
+    rules = all_rules()
+    reports = analyze_files(root, targets, rules)
+    if not reports:
+        print(f"repro.analysis: no python files under {targets}", file=sys.stderr)
+        return 2
+
+    findings = [f for report in reports for f in report.findings]
+    suppressed = [f for report in reports for f in report.suppressed]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    try:
+        entries = load_baseline(baseline_path)
+    except BaselineError as exc:
+        print(f"repro.analysis: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        new_entries = entries_from_findings(findings, previous=entries)
+        write_baseline(baseline_path, new_entries)
+        print(
+            f"repro.analysis: baseline rewritten with {len(new_entries)} "
+            f"entr{'y' if len(new_entries) == 1 else 'ies'} at {baseline_path}"
+        )
+        todo = sum(
+            1 for e in new_entries
+            if e.justification.startswith("TODO")
+        )
+        if todo:
+            print(
+                f"repro.analysis: {todo} entr{'y' if todo == 1 else 'ies'} "
+                f"carry a TODO justification — fill them in before committing",
+                file=sys.stderr,
+            )
+        return 0
+
+    new, matched, stale = split_by_baseline(
+        findings, entries, analyzed_paths=(r.path for r in reports)
+    )
+
+    report = _report(new, matched, stale, suppressed, files=len(reports))
+    mypy_exit = 0
+    if args.mypy:
+        mypy_exit, mypy_out = run_mypy(root)
+        report["mypy"] = {"exit": mypy_exit, "output": mypy_out}
+
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+            if finding.snippet:
+                print(f"    {finding.snippet}")
+        for entry in stale:
+            print(
+                f"{entry.path}: stale baseline entry {entry.rule} "
+                f"({entry.fingerprint}): finding no longer occurs — "
+                f"remove it from the baseline"
+            )
+        counts = report["counts"]
+        summary = (
+            f"repro.analysis: {len(reports)} files, "
+            f"{counts['new']} new finding(s) "
+            f"({counts['new_errors']} error), "
+            f"{counts['baselined']} baselined, "
+            f"{counts['suppressed']} suppressed, "
+            f"{counts['stale_baseline']} stale baseline entr"
+            f"{'y' if counts['stale_baseline'] == 1 else 'ies'}"
+        )
+        print(summary)
+        if args.mypy:
+            print(f"repro.analysis: mypy exit {mypy_exit}")
+            if report["mypy"]["output"]:
+                print(report["mypy"]["output"])
+
+    if args.strict:
+        failed = bool(new) or bool(stale)
+    else:
+        failed = any(f.severity == "error" for f in new)
+    if mypy_exit != 0:
+        failed = True
+    return 1 if failed else 0
+
+
+# Re-exported for tests that monkeypatch module-level names.
+baseline = baseline_mod

@@ -1,0 +1,45 @@
+"""Rule registry: every ``r*.py`` module in this package contributes.
+
+Discovery is by module, not by a hand-maintained list, so deleting a
+rule module really removes its rule (and trips the per-rule registry
+tests) instead of leaving a dangling import error or — worse — a list
+entry that silently keeps passing.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+from ..core import Rule
+
+__all__ = ["all_rules", "rules_by_id"]
+
+_cache: list[Rule] | None = None
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every rule defined in this package, id-sorted."""
+    global _cache
+    if _cache is None:
+        rules: list[Rule] = []
+        for info in pkgutil.iter_modules(__path__):
+            if not info.name.startswith("r"):
+                continue
+            module = importlib.import_module(f"{__name__}.{info.name}")
+            for obj in vars(module).values():
+                if (
+                    isinstance(obj, type)
+                    and issubclass(obj, Rule)
+                    and obj is not Rule
+                    and obj.__module__ == module.__name__
+                    and obj.id
+                ):
+                    rules.append(obj())
+        rules.sort(key=lambda r: (len(r.id), r.id))
+        _cache = rules
+    return list(_cache)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.id: rule for rule in all_rules()}

@@ -1,0 +1,91 @@
+"""R1 — no unseeded randomness or wall-clock reads in deterministic modules.
+
+Every result in ``sim/``, ``fabric/``, ``engine/``, and ``store/`` must
+be a pure function of (inputs, seed): shard merges are bit-compared
+against serial references, and campaign resumes re-execute work
+expecting identical bytes.  One ``random.random()`` or ``time.time()``
+folded into a result breaks that silently, in a way the test suite only
+catches probabilistically.
+
+Flagged are *calls* — ``time.time()``, ``datetime.now()``,
+``uuid.uuid4()``, module-level ``random.*`` functions, and legacy
+``numpy.random.*`` — not references, so the sanctioned
+dependency-injection idiom (``def __init__(self, clock=time.time)``)
+stays legal: the default is a reference, and tests inject a fake.
+Seeded constructions (``random.Random(seed)``,
+``numpy.random.default_rng(seed)``) are the approved alternative.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import DETERMINISTIC_PACKAGES, FileContext, Finding, Rule
+
+#: Wall-clock / uniqueness reads that leak real time into results.
+_WALL_CLOCK = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid1": "time/MAC-derived uuid",
+    "uuid.uuid4": "os-entropy uuid",
+}
+
+#: ``random.X()`` constructions that *are* allowed — an explicitly
+#: seeded generator is the approved idiom.
+_RANDOM_OK = {"random.Random"}
+
+#: ``numpy.random.X`` constructions that are allowed (seeded generator
+#: API); everything else on ``numpy.random`` is legacy global state.
+_NP_RANDOM_OK = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+
+
+class DeterminismRule(Rule):
+    id = "R1"
+    name = "determinism"
+    severity = "error"
+    rationale = (
+        "deterministic modules must be a pure function of (inputs, seed); "
+        "wall-clock reads and unseeded RNGs break bit-identical resume"
+    )
+    scope = DETERMINISTIC_PACKAGES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.resolve(node.func)
+            if name in _WALL_CLOCK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() is a {_WALL_CLOCK[name]} in a deterministic "
+                    f"module — inject a clock/ids via parameters instead",
+                )
+            elif name.startswith("random.") and name not in _RANDOM_OK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() uses the unseeded global RNG — construct "
+                    f"random.Random(seed) and thread it through",
+                )
+            elif (
+                name.startswith("numpy.random.")
+                and name not in _NP_RANDOM_OK
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{name}() uses numpy's legacy global RNG — use "
+                    f"numpy.random.default_rng(seed)",
+                )

@@ -1,0 +1,55 @@
+"""R4 — no internal use of deprecated call spellings.
+
+``run_campaign(backend=...)`` / ``FaultDictionary(kernel=...)`` /
+``cache_dir=`` are compatibility shims kept for external callers; they
+emit :class:`DeprecationWarning` and will be removed.  Internal code
+using them both delays that removal and advertises the wrong idiom to
+readers — new code passes ``context=ExecutionContext(...)``.
+
+Only the known shimmed callees are checked: ``kernel=`` on ``Tester``
+(say) is real API and stays legal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule, dotted_tail
+
+#: callee → keyword args that are deprecated *on that callee*.
+_DEPRECATED = {
+    "run_campaign": {"backend", "cache_dir"},
+    "run_sweep": {"backend", "cache_dir"},
+    "run_sharded_sweep": {"backend", "cache_dir"},
+    "run_journaled_sweep": {"backend", "cache_dir"},
+    "FaultDictionary": {"kernel"},
+}
+
+
+class DeprecatedSpellingRule(Rule):
+    id = "R4"
+    name = "deprecated-spellings"
+    severity = "warning"
+    rationale = (
+        "internal code must not depend on deprecation shims slated for "
+        "removal; pass context= instead"
+    )
+    scope = ("src/repro/", "scripts/", "examples/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = dotted_tail(node.func)
+            banned = _DEPRECATED.get(callee)
+            if not banned:
+                continue
+            for kw in node.keywords:
+                if kw.arg in banned:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{callee}({kw.arg}=...) is a deprecated spelling "
+                        f"internally — pass context=ExecutionContext(...)",
+                    )

@@ -1,0 +1,67 @@
+"""R5 — no bare/broad ``except`` that can swallow corruption errors.
+
+The warm-load paths raise :class:`ArtifactCorruptionError` precisely so
+callers quarantine-and-heal instead of computing on garbage.  A bare
+``except:`` or ``except Exception:`` between the loader and the healer
+eats that signal and turns "corruption heals" back into "corruption
+corrupts results".
+
+A broad handler is exempt when its body re-raises (``raise`` /
+``raise X from err``): catch-log-reraise and probe-and-narrow patterns
+are fine, silent swallowing is not.  Handlers at genuine supervision
+boundaries — the shard worker's drain loop, which must record *any*
+workload failure and burn an attempt — keep an inline
+``# repro: ignore[R5]`` with the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, Rule
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_names(node: ast.expr | None) -> list[str]:
+    """Broad exception names in an ``except`` clause (handles tuples)."""
+    if node is None:
+        return ["(bare)"]
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            names.append(expr.id)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(sub, ast.Raise) for sub in ast.walk(handler))
+
+
+class BroadExceptRule(Rule):
+    id = "R5"
+    name = "broad-except"
+    severity = "error"
+    rationale = (
+        "ArtifactCorruptionError must reach the quarantine-and-heal "
+        "path; broad handlers may not swallow it silently"
+    )
+    scope = ("src/repro/", "scripts/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            names = _broad_names(node.type)
+            if not names or _reraises(node):
+                continue
+            label = names[0]
+            yield ctx.finding(
+                self,
+                node,
+                f"except {label} without re-raise can swallow "
+                f"ArtifactCorruptionError — catch the specific exceptions, "
+                f"or re-raise",
+            )

@@ -34,6 +34,10 @@ Commands
               runs skip compilation entirely; ``--table1`` prebuilds (and
               reports) the kernel artifacts for every Table I generation
               layout instead.
+``lint``      Run the repo's own static-analysis pass
+              (:mod:`repro.analysis`): determinism, atomic-publish and
+              session invariants, checked mechanically.  All flags are
+              forwarded (``--strict``, ``--format json``, ...).
 """
 
 from __future__ import annotations
@@ -437,11 +441,29 @@ def build_parser() -> argparse.ArgumentParser:
                         "every Table I generation layout")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_warm)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis of the repo's own invariant conventions",
+        add_help=False,  # every flag (including -h) belongs to repro.analysis
+    )
+    p.set_defaults(func=cmd_lint)
     return parser
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import main as analysis_main
+
+    return analysis_main(args.rest)
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args, rest = parser.parse_known_args(argv)
+    if args.func is not cmd_lint and rest:
+        # Everything except `lint` keeps strict argparse behaviour.
+        parser.parse_args(argv)
+    args.rest = rest
     return args.func(args)
 
 

@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import os
 import random
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.fpva.array import FPVA
 from repro.sim.kernel import BatchEvaluator, ReachabilityKernel
@@ -106,12 +106,12 @@ class ExecutionContext:
         fpva: FPVA,
         *,
         engine: str = "kernel",
-        store=None,
+        store: "ArtifactStore | str | os.PathLike | None" = None,
         cache_dir: str | os.PathLike | None = None,
         seed: int = 0,
         kernel: ReachabilityKernel | None = None,
         kernel_backend: str | None = None,
-    ):
+    ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         if store is not None and cache_dir is not None:
@@ -151,7 +151,9 @@ class ExecutionContext:
 
     # -- resolution helpers -------------------------------------------------
     @classmethod
-    def resolve(cls, context: "ExecutionContext | None", fpva: FPVA, **defaults):
+    def resolve(
+        cls, context: "ExecutionContext | None", fpva: FPVA, **defaults: Any
+    ) -> "ExecutionContext":
         """``context`` if given (validated against ``fpva``), else a fresh one.
 
         The standard constructor-argument pattern: every layer accepts
@@ -319,7 +321,7 @@ class ExecutionContext:
         """
         return random.Random(mix_seed(self.seed, *stream) if stream else self.seed)
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         kernel = "compiled" if self._kernel is not None else "lazy"
         store = repr(str(self.store.root)) if self.store is not None else None
         return (

@@ -51,6 +51,7 @@ SHARD_TRIALS = 50
 
 #: Per-process kernel memo for path-shipped payloads: worker processes
 #: survive across shards, so each loads a given artifact exactly once.
+# repro: ignore[R7] -- deliberate per-process cache: populated only inside a worker, keyed by artifact path, never shared across processes
 _KERNEL_MEMO: dict[str, ReachabilityKernel] = {}
 
 
@@ -85,11 +86,13 @@ def _resolve_shipping(fpva, backend: str | None, cache_dir, context):
         if engine == "object":
             return "legacy", None, None
     if cache_dir is None:
+        # repro: ignore[R3] -- legacy shipping shim: pre-context callers with no store get a pickled kernel, by design
         return "kernel", ReachabilityKernel(fpva), kernel_backend
     from repro.store import ArtifactStore
 
     store = ArtifactStore(cache_dir)
     if not store.kernels.has(fpva):
+        # repro: ignore[R3] -- legacy shipping shim: seeds the store for cache_dir= callers that bypass ExecutionContext
         store.kernels.save(ReachabilityKernel(fpva))
     return "kernel", str(store.kernels.path_for(fpva)), kernel_backend
 

@@ -140,6 +140,7 @@ class MixedScenario:
         return sample_fault_set(universe, num_faults, rng)
 
 
+# repro: ignore[R7] -- scenario registry: filled by register_scenario() at import time, read-only afterwards, identical in every worker
 _REGISTRY: dict[str, FaultScenario] = {}
 
 

@@ -68,9 +68,9 @@ class CampaignSpec:
     keep_undetected: int = 10
     scenario: object = None
     shard_trials: int = 50
-    _key: tuple = field(init=False, repr=False, compare=False, default=None)
+    _key: tuple | None = field(init=False, repr=False, compare=False, default=None)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "vectors", tuple(self.vectors))
         object.__setattr__(
             self, "fault_counts", tuple(int(k) for k in self.fault_counts)

@@ -56,7 +56,9 @@ import socket
 import time
 import uuid
 from pathlib import Path
+from typing import Callable, Iterable
 
+from repro.sim.campaign import CampaignResult
 from repro.store.digest import STORE_FORMAT_VERSION
 from repro.store.integrity import ArtifactCorruptionError, quarantine
 
@@ -95,9 +97,9 @@ class CampaignJournal:
         root: str | os.PathLike,
         *,
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-        clock=time.time,
+        clock: Callable[[], float] = time.time,
         owner: str | None = None,
-    ):
+    ) -> None:
         self.root = Path(root)
         self.store = ShardStore(self.root / "shards")
         self.leases = self.root / "leases"
@@ -174,7 +176,7 @@ class CampaignJournal:
             return LEASED
         return PENDING
 
-    def states(self, descriptors) -> dict[str, str]:
+    def states(self, descriptors: Iterable[ShardDescriptor]) -> dict[str, str]:
         return {d.digest: self.state(d) for d in descriptors}
 
     # -- leases --------------------------------------------------------------
@@ -274,7 +276,7 @@ class CampaignJournal:
         reason: str,
         attempts: int,
         worker: str = "",
-    ):
+    ) -> Path:
         """Park a poison shard with its diagnostic record."""
         return self.supervision.quarantine_shard(
             descriptor,
@@ -314,7 +316,7 @@ class CampaignJournal:
         return pen
 
     # -- the claim loop ------------------------------------------------------
-    def claim(self, descriptors) -> ShardDescriptor | None:
+    def claim(self, descriptors: Iterable[ShardDescriptor]) -> ShardDescriptor | None:
         """Claim the first claimable shard of ``descriptors``, or ``None``.
 
         Skips *done* shards (releasing any dangling lease a
@@ -353,7 +355,7 @@ class CampaignJournal:
     def publish(
         self,
         descriptor: ShardDescriptor,
-        result,
+        result: CampaignResult,
         *,
         worker: str = "",
         elapsed: float = 0.0,
@@ -368,7 +370,7 @@ class CampaignJournal:
     def publish_result(
         self,
         descriptor: ShardDescriptor,
-        result,
+        result: CampaignResult,
         *,
         worker: str = "",
         elapsed: float = 0.0,

@@ -47,7 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.sim.campaign import CampaignResult, merge_shards
 from repro.store.digest import digest_int
@@ -57,6 +57,9 @@ from repro.fabric.descriptors import CampaignSpec, ShardDescriptor
 from repro.fabric.journal import DEFAULT_LEASE_TIMEOUT, CampaignJournal
 from repro.fabric.retry import DEFAULT_MAX_ATTEMPTS, RetryPolicy
 from repro.fabric.scheduler import get_scheduler, measure_profiles
+
+if TYPE_CHECKING:
+    from repro.sim.kernel import ReachabilityKernel
 
 #: Base re-poll interval while foreign processes still hold fresh leases
 #: on the last undone shards; the actual wait backs off from here.
@@ -150,11 +153,11 @@ class ShardWorker:
         *,
         worker_id: str = "w0",
         mode: str = "kernel",
-        kernel=None,
+        kernel: "ReachabilityKernel | str | None" = None,
         kernel_backend: str | None = None,
         retry: RetryPolicy | None = None,
-        sleep=time.sleep,
-    ):
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.journal = journal
         self.spec = spec
         self.order = list(order)
@@ -233,6 +236,7 @@ class ShardWorker:
             t0 = time.perf_counter()
             try:
                 result = self.run_shard(descriptor)
+            # repro: ignore[R5] -- supervision boundary: ANY workload failure (corruption included) must be recorded and retried under the attempt budget, never crash the drain
             except Exception as error:
                 # The workload, not the fabric, failed: record the
                 # diagnostic, free the lease, and let the claim loop
@@ -270,7 +274,7 @@ def _drain_process(
     worker_id: str,
     preferred: list[str],
     mode: str,
-    kernel,
+    kernel: "ReachabilityKernel | str | None",
     kernel_backend: str | None,
     lease_timeout: float,
     retry: RetryPolicy,
@@ -296,7 +300,13 @@ def _drain_process(
     return executed, journal.reclaimed, worker.retried, len(worker.quarantined)
 
 
-def _prepare_kernel(spec: CampaignSpec, mode: str, kernel, journal_root, workers):
+def _prepare_kernel(
+    spec: CampaignSpec,
+    mode: str,
+    kernel: "ReachabilityKernel | str | None",
+    journal_root: str | os.PathLike,
+    workers: int,
+) -> "ReachabilityKernel | str | None":
     """Normalize the kernel spec shipped to workers.
 
     A pool never pickles a kernel per process when it can ship a path:
@@ -310,6 +320,7 @@ def _prepare_kernel(spec: CampaignSpec, mode: str, kernel, journal_root, workers
     from repro.store import KernelStore
 
     if kernel is None:
+        # repro: ignore[R3] -- the worker-side compile-on-miss path: this IS where a journaled worker builds the kernel it then publishes
         kernel = ReachabilityKernel(spec.fpva)
     store = KernelStore(Path(journal_root) / "kernels")
     if not store.has(spec.fpva):
@@ -387,16 +398,16 @@ def run_journaled_sweep(
     scheduler: str = "greedy",
     resume: bool = False,
     lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
-    clock=time.time,
+    clock: Callable[[], float] = time.time,
     mode: str = "kernel",
-    kernel=None,
+    kernel: "ReachabilityKernel | str | None" = None,
     kernel_backend: str | None = None,
     worker_backends: Sequence[str | None] | None = None,
     worker_cls: type[ShardWorker] = ShardWorker,
     poll_interval: float = POLL_INTERVAL,
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     retry: RetryPolicy | None = None,
-    sleep=time.sleep,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> tuple[dict[int, CampaignResult], DrainStats]:
     """Drain (or resume) one campaign's journal and merge the result.
 

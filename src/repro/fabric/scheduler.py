@@ -29,7 +29,7 @@ Two schedulers ship:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Protocol, Sequence
 
 from repro.store.integrity import ArtifactCorruptionError
 
@@ -60,7 +60,9 @@ class WorkerProfile:
         return self.trials / self.elapsed if self.elapsed > 0 else 0.0
 
 
-def measure_profiles(store: ShardStore, descriptors) -> dict[str, WorkerProfile]:
+def measure_profiles(
+    store: ShardStore, descriptors: Iterable[ShardDescriptor]
+) -> dict[str, WorkerProfile]:
     """Aggregate per-worker throughput from published shard metadata."""
     sums: dict[str, list[float]] = {}
     for descriptor in descriptors:
@@ -108,6 +110,20 @@ def _speeds(
         speed = profile.throughput if profile and profile.throughput > 0 else default
         speeds.append(speed)
     return speeds
+
+
+class Scheduler(Protocol):
+    """What a shard scheduler is: a named, pure assignment function."""
+
+    name: str
+
+    def assign(
+        self,
+        descriptors: Sequence[ShardDescriptor],
+        workers: Sequence[str],
+        profiles: dict[str, WorkerProfile] | None = None,
+    ) -> list[list[ShardDescriptor]]:
+        ...
 
 
 class GreedyScheduler:
@@ -199,6 +215,7 @@ class IlpScheduler:
         return queues
 
 
+# repro: ignore[R7] -- scheduler registry: written once at import, read-only afterwards
 _SCHEDULERS = {
     GreedyScheduler.name: GreedyScheduler,
     IlpScheduler.name: IlpScheduler,
@@ -209,7 +226,7 @@ def scheduler_names() -> list[str]:
     return sorted(_SCHEDULERS)
 
 
-def get_scheduler(name: str):
+def get_scheduler(name: str) -> Scheduler:
     """Instantiate a scheduler by registry name."""
     try:
         return _SCHEDULERS[name]()

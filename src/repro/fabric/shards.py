@@ -48,7 +48,7 @@ from repro.fabric.descriptors import ShardDescriptor
 class ShardStore:
     """Content-addressed store of published :class:`CampaignResult` shards."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
 
     def path_for(self, digest: str) -> Path:

@@ -41,6 +41,7 @@ import json
 import os
 import socket
 from pathlib import Path
+from typing import Callable
 
 from repro.fabric.descriptors import ShardDescriptor
 from repro.fabric.retry import DEFAULT_MAX_ATTEMPTS, RetryPolicy
@@ -70,7 +71,7 @@ def _read_json(path: Path) -> dict | None:
 class SupervisionLedger:
     """Durable attempt/quarantine/heartbeat records for one journal."""
 
-    def __init__(self, root: str | os.PathLike, *, clock):
+    def __init__(self, root: str | os.PathLike, *, clock: Callable[[], float]) -> None:
         self.root = Path(root)
         self.attempts_dir = self.root / "attempts"
         self.quarantine_dir = self.root / "quarantine"

@@ -50,7 +50,7 @@ ENV_VAR = "REPRO_KERNEL_BACKEND"
 DEFAULT_BACKEND = "tile"
 
 #: Deprecated spellings accepted by :func:`create` (via the legacy shims).
-_ALIASES = {"kernel": "tile"}
+_ALIASES = {"kernel": "tile"}  # repro: ignore[R7] -- frozen alias table, never mutated after import
 
 
 def _make_jit(kernel):
@@ -79,6 +79,7 @@ def _probe_gpu() -> str | None:
 
 #: name -> (factory, availability probe).  Probes return ``None`` when the
 #: tier can run here, else the human-readable reason it cannot.
+# repro: ignore[R7] -- backend registry: written once at import, read-only afterwards, identical in every worker
 _REGISTRY: dict[str, tuple[Callable, Callable[[], str | None]]] = {
     "word": (WordBackend, lambda: None),
     "tile": (TileBackend, lambda: None),

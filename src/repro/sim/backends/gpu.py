@@ -37,6 +37,7 @@ def probe() -> str | None:
     try:  # pragma: no cover - requires CUDA hardware
         if cp.cuda.runtime.getDeviceCount() < 1:
             return "no CUDA device is visible"
+    # repro: ignore[R5] -- availability probe: any driver/runtime failure means "tier unavailable", reported as a reason string
     except Exception as exc:  # pragma: no cover - driver/runtime failures
         return f"CUDA runtime unavailable ({exc})"
     return None  # pragma: no cover - requires CUDA hardware
@@ -67,7 +68,7 @@ class GpuBackend(KernelBackend):  # pragma: no cover - requires CUDA hardware
         # whose spread row is pinned to zero words.
         pad = np.full((len(indegree), max_deg), n_arcs, dtype=np.int64)
         for i, (lo, deg) in enumerate(zip(starts[:-1], indegree)):
-            pad[i, :deg] = np.arange(lo, lo + deg)
+            pad[i, :deg] = np.arange(lo, lo + deg, dtype=np.int64)
         self._device = {
             "arc_src": cp.asarray(np.asarray(kernel._arc_src, dtype=np.int64)),
             "dst_nodes": cp.asarray(np.asarray(kernel._dst_nodes, dtype=np.int64)),

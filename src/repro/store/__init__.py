@@ -58,16 +58,16 @@ from repro.store.kernels import KernelStore
 class ArtifactStore:
     """One cache directory holding every artifact family."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
         self.kernels = KernelStore(self.root / "kernels")
         self.dictionaries = DictionaryStore(self.root / "dictionaries")
 
-    def __repr__(self):
+    def __repr__(self) -> str:
         return f"ArtifactStore({str(self.root)!r})"
 
 
-def as_store(store) -> ArtifactStore | None:
+def as_store(store: "ArtifactStore | str | os.PathLike | None") -> ArtifactStore | None:
     """Coerce ``None`` / path-like / :class:`ArtifactStore` to a store."""
     if store is None or isinstance(store, ArtifactStore):
         return store

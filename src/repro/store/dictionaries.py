@@ -41,7 +41,7 @@ import shutil
 import zipfile
 from collections import defaultdict
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -59,7 +59,7 @@ from repro.store.integrity import (
 CHUNK_ROWS = 16384
 
 
-def encode_syndromes(syndromes) -> dict:
+def encode_syndromes(syndromes: Iterable) -> dict:
     """Syndrome tuples → the interned JSON payload (see module docstring)."""
     vector_ids: dict[str, int] = {}
     sinks: tuple[str, ...] | None = None
@@ -128,7 +128,7 @@ class DictionaryWriter:
     yields all-or-nothing persistence.
     """
 
-    def __init__(self, directory: Path, cardinality: int, meta: dict):
+    def __init__(self, directory: Path, cardinality: int, meta: dict) -> None:
         self._final = directory
         self._tmp = directory.with_name(
             f"{directory.name}.tmp-{os.getpid()}"
@@ -155,7 +155,7 @@ class DictionaryWriter:
             os.fsync(fh.fileno())
         self._checksums[name] = data_checksum(payload)
 
-    def add(self, indices: Sequence[int], syndrome) -> None:
+    def add(self, indices: Sequence[int], syndrome: Any) -> None:
         """Record one detected fault set (universe indices) + its syndrome."""
         ids = self._syndrome_ids
         sid = ids.get(syndrome)
@@ -233,7 +233,7 @@ class DictionaryWriter:
 class DictionaryStore:
     """Content-addressed store of chunked syndrome tables."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
 
     def path_for(self, digest: str) -> Path:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.vectors import TestVector
 from repro.fpva.array import FPVA
@@ -88,7 +88,7 @@ def fault_key(fault: Fault) -> tuple:
     raise TypeError(f"unknown fault kind {fault!r}")
 
 
-def digest_of(*parts) -> str:
+def digest_of(*parts: Any) -> str:
     """BLAKE2b hex digest of canonically JSON-serialized parts."""
     payload = json.dumps(parts, separators=(",", ":"), sort_keys=True)
     return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
@@ -110,7 +110,7 @@ def kernel_digest(fpva: FPVA) -> str:
     return digest_of("kernel", STORE_FORMAT_VERSION, layout_key(fpva))
 
 
-def scenario_key(scenario, include_control_leaks: bool = True) -> tuple:
+def scenario_key(scenario: Any, include_control_leaks: bool = True) -> tuple:
     """Canonical identity of a campaign's fault workload.
 
     ``None`` is the paper's default stuck-at space, whose universe is a
@@ -127,7 +127,7 @@ def scenario_key(scenario, include_control_leaks: bool = True) -> tuple:
 def campaign_key(
     fpva: FPVA,
     vectors: Sequence[TestVector],
-    scenario,
+    scenario: Any,
     include_control_leaks: bool,
     seed: int,
     shard_trials: int,

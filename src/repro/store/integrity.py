@@ -58,7 +58,7 @@ class ArtifactCorruptionError(RuntimeError):
     never to merge or serve the corrupt payload.
     """
 
-    def __init__(self, path: str | os.PathLike, reason: str):
+    def __init__(self, path: str | os.PathLike, reason: str) -> None:
         self.path = Path(path)
         self.reason = reason
         super().__init__(f"corrupt artifact {self.path}: {reason}")

@@ -55,7 +55,7 @@ def _meta_path(path: Path) -> Path:
 class KernelStore:
     """Content-addressed ``.npz`` store of compiled kernel arc tables."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
 
     def path_for(self, fpva: FPVA) -> Path:
