@@ -10,6 +10,14 @@ Two acceptance measurements for the ``repro.store`` subsystem:
   sets), infeasible to rebuild per invocation before the store existed,
   built through the chunked streaming path under a ``tracemalloc`` peak
   budget, then warm-loaded.
+* **incremental append** — one vector added to an already-published
+  suite must delta-build bit-identically while simulating **>=10x**
+  fewer scenarios than the cold rebuild (only the new column is
+  simulated); wall-clock must clear a 5x floor.
+* **incremental promotion** — raising ``max_cardinality`` 2->3 reuses
+  every stored row and simulates only the triple tier; floor is on the
+  deterministic scenario counts, with wall-clock recorded for the
+  trajectory.
 
 Results are written to ``BENCH_store.json`` (override with
 ``REPRO_BENCH_STORE_JSON``) so the warm/cold trajectory is tracked across
@@ -22,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import shutil
 import time
 import tracemalloc
 
@@ -42,6 +51,23 @@ STREAM_SIZE = 7 if SMOKE else 10
 #: back toward materializing the quadratic fault-set universe.
 STREAM_PEAK_BUDGET_MB = 64 if SMOKE else 512
 STREAM_CHUNK = 4096
+#: Appending one vector re-simulates one column instead of the whole
+#: suite.  The hard >=10x guarantee sits on the *scenario-count* ratio
+#: below — deterministic, machine-independent, measured ~29x at 10x10 —
+#: because the wall-clock ratio is structurally capped near 9x at this
+#: scale: the delta still walks every stored row in Python (~7us/row for
+#: the ancestor's ~65k rows: iterate, compose masks, merge, re-publish)
+#: while a cold scenario simulates in ~11us, so the ratio converges to
+#: (scenarios-per-row x 11us) / 7us regardless of array size.  Measured
+#: 7-9x with cold varying 5-13s run-to-run in CI-class containers; the
+#: 5x wall floor catches regressions without flaking on that variance.
+INC_APPEND_MIN_SPEEDUP = 1.5 if SMOKE else 5.0
+#: Scenario counts are deterministic, so the simulation-avoidance floor
+#: holds at every scale even where wall-clock is overhead-bound.
+INC_APPEND_MIN_SCENARIO_RATIO = 10.0
+#: Universe slice for the cardinality-3 promotion bench — the full
+#: stuck-at universe's triple tier is combinatorially out of reach.
+PROMOTE_UNIVERSE = 24 if SMOKE else 36
 
 
 def _record(section: str, payload: dict) -> None:
@@ -179,3 +205,171 @@ def test_streaming_double_fault_scale_up(benchmark, tmp_path, capsys):
         )
     assert stats["peak_memory_mb"] <= STREAM_PEAK_BUDGET_MB, stats
     assert stats["warm_load_seconds"] < stats["cold_build_seconds"], stats
+
+
+def _bench_incremental_append(fpva, vectors, universe, root):
+    cold_store = ArtifactStore(root / "cold")
+    t0 = time.perf_counter()
+    cold = FaultDictionary(
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=2,
+        store=cold_store,
+        incremental=False,
+    )
+    t_cold = time.perf_counter() - t0
+
+    inc_store = ArtifactStore(root / "inc")
+    FaultDictionary(
+        fpva,
+        vectors[:-1],
+        universe=universe,
+        max_cardinality=2,
+        store=inc_store,
+        incremental=False,
+    )
+    # Best-of-2, like the warm-start floor: un-publish the target between
+    # attempts (the ancestor stays) so both runs take the delta path.
+    t_delta = float("inf")
+    for attempt in range(2):
+        if attempt:
+            shutil.rmtree(inc_store.dictionaries.path_for(delta.digest))
+        t0 = time.perf_counter()
+        delta = FaultDictionary(
+            fpva,
+            vectors,
+            universe=universe,
+            max_cardinality=2,
+            store=inc_store,
+        )
+        t_delta = min(t_delta, time.perf_counter() - t0)
+        assert delta.build_stats["mode"] == "delta", delta.build_stats
+    assert delta.build_stats["new_vectors"] == 1
+    assert list(delta._table.items()) == list(cold._table.items())
+
+    return {
+        "fault_sets": cold.total_fault_sets,
+        "vectors": len(vectors),
+        "cold_build_seconds": t_cold,
+        "delta_build_seconds": t_delta,
+        "speedup": t_cold / t_delta,
+        "cold_scenarios": cold.build_stats["simulated_scenarios"],
+        "delta_scenarios": delta.build_stats["simulated_scenarios"],
+        "scenario_ratio": (
+            cold.build_stats["simulated_scenarios"]
+            / delta.build_stats["simulated_scenarios"]
+        ),
+        "floor_scenario_ratio": INC_APPEND_MIN_SCENARIO_RATIO,
+        "floor_speedup": INC_APPEND_MIN_SPEEDUP,
+        "reused_sets": delta.build_stats["reused_sets"],
+    }
+
+
+def test_incremental_append_speedup(benchmark, tmp_path, capsys):
+    """Acceptance: appending one vector to the published 10x10 card-2
+    suite delta-builds bit-identically, simulating >=10x fewer scenarios
+    than the cold rebuild and clearing the wall-clock floor."""
+    fpva = full_layout(
+        STREAM_SIZE, STREAM_SIZE, name=f"store-append-{STREAM_SIZE}"
+    )
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)
+    stats = pedantic_once(
+        benchmark, _bench_incremental_append, fpva, vectors, universe,
+        tmp_path,
+    )
+    benchmark.extra_info.update(stats)
+    _record(f"incremental_append_{STREAM_SIZE}x{STREAM_SIZE}_card2", stats)
+    with capsys.disabled():
+        print(
+            f"\n{STREAM_SIZE}x{STREAM_SIZE} card-2 append-one-vector: cold "
+            f"{stats['cold_build_seconds']:.2f}s "
+            f"({stats['cold_scenarios']} scenarios) vs delta "
+            f"{stats['delta_build_seconds'] * 1000:.0f}ms "
+            f"({stats['delta_scenarios']} scenarios) -> "
+            f"{stats['speedup']:.1f}x wall, "
+            f"{stats['scenario_ratio']:.0f}x fewer scenarios"
+        )
+    assert stats["speedup"] >= INC_APPEND_MIN_SPEEDUP, stats
+    assert (
+        stats["cold_scenarios"]
+        >= INC_APPEND_MIN_SCENARIO_RATIO * stats["delta_scenarios"]
+    ), stats
+
+
+def _bench_incremental_promotion(fpva, vectors, universe, root):
+    cold_store = ArtifactStore(root / "cold")
+    t0 = time.perf_counter()
+    cold = FaultDictionary(
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=3,
+        store=cold_store,
+        incremental=False,
+    )
+    t_cold = time.perf_counter() - t0
+
+    inc_store = ArtifactStore(root / "inc")
+    ancestor = FaultDictionary(
+        fpva,
+        vectors,
+        universe=universe,
+        max_cardinality=2,
+        store=inc_store,
+        incremental=False,
+    )
+    t0 = time.perf_counter()
+    delta = FaultDictionary(
+        fpva, vectors, universe=universe, max_cardinality=3, store=inc_store
+    )
+    t_delta = time.perf_counter() - t0
+
+    assert delta.build_stats["mode"] == "delta", delta.build_stats
+    assert delta.build_stats["reused_sets"] == ancestor.total_fault_sets
+    assert list(delta._table.items()) == list(cold._table.items())
+
+    return {
+        "universe": len(universe),
+        "fault_sets": cold.total_fault_sets,
+        "reused_sets": delta.build_stats["reused_sets"],
+        "promoted_sets": delta.build_stats["promoted_sets"],
+        "cold_build_seconds": t_cold,
+        "delta_build_seconds": t_delta,
+        "speedup": t_cold / t_delta,
+        "cold_scenarios": cold.build_stats["simulated_scenarios"],
+        "delta_scenarios": delta.build_stats["simulated_scenarios"],
+    }
+
+
+def test_incremental_promotion_scenarios(benchmark, tmp_path, capsys):
+    """Acceptance: promoting a stored card-2 dictionary to card-3 reuses
+    every row and never simulates more scenarios than the cold build.
+
+    The floor sits on the deterministic scenario counts rather than
+    wall-clock: the triple tier dominates both builds, so the timing
+    ratio is noise-bound, but the reuse accounting is exact.
+    """
+    fpva = full_layout(
+        STREAM_SIZE, STREAM_SIZE, name=f"store-promote-{STREAM_SIZE}"
+    )
+    vectors = generate_suite(fpva).all_vectors()
+    universe = stuck_at_faults(fpva)[:PROMOTE_UNIVERSE]
+    stats = pedantic_once(
+        benchmark, _bench_incremental_promotion, fpva, vectors, universe,
+        tmp_path,
+    )
+    benchmark.extra_info.update(stats)
+    _record(
+        f"incremental_promotion_{STREAM_SIZE}x{STREAM_SIZE}_card3", stats
+    )
+    with capsys.disabled():
+        print(
+            f"\n{STREAM_SIZE}x{STREAM_SIZE} card-3 promotion "
+            f"({stats['reused_sets']} reused, {stats['promoted_sets']} "
+            f"promoted): cold {stats['cold_build_seconds']:.1f}s vs delta "
+            f"{stats['delta_build_seconds']:.1f}s -> "
+            f"{stats['speedup']:.1f}x"
+        )
+    assert stats["delta_scenarios"] <= stats["cold_scenarios"], stats

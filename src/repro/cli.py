@@ -34,6 +34,14 @@ Commands
               runs skip compilation entirely; ``--table1`` prebuilds (and
               reports) the kernel artifacts for every Table I generation
               layout instead.
+``store``     Artifact-store maintenance.  ``store gc`` lists (default:
+              dry run) or removes dictionary artifacts that are
+              superseded by a lineage descendant — every delta build
+              records its parent, so ancestors a newer artifact fully
+              subsumes can be reclaimed without losing any warm start;
+              ``--apply`` deletes, ``--apply --quarantine`` moves the
+              bytes into the store's ``quarantine/`` directory instead
+              (never delete evidence).
 ``lint``      Run the repo's own static-analysis pass
               (:mod:`repro.analysis`): determinism, atomic-publish and
               session invariants, checked mechanically.  All flags are
@@ -57,7 +65,7 @@ from repro.engine import (
     scenario_names,
 )
 from repro.fpva import TABLE1_SIZES, full_layout, table1_layout
-from repro.sim import ChipUnderTest, FaultDictionary
+from repro.sim import ChipUnderTest
 
 
 def _layout(args):
@@ -232,7 +240,26 @@ def cmd_campaign(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def _build_status(dictionary) -> str:
+    """One human line on how the dictionary table was obtained."""
+    stats = dictionary.build_stats
+    mode = stats.get("mode")
+    if mode == "warm":
+        return "warm-loaded"
+    if mode == "delta":
+        return (
+            f"delta-built from {stats['parent'][:12]} "
+            f"({stats['new_vectors']} new vectors, "
+            f"{stats['reused_sets']} reused sets, "
+            f"{stats['promoted_sets']} promoted)"
+        )
+    return "cold-built"
+
+
 def cmd_diagnose(args) -> int:
+    if args.base_digest and not args.cache_dir:
+        print("--base-digest requires --cache-dir", file=sys.stderr)
+        return 2
     ctx = _context(args)
     fpva = ctx.fpva
     suite = TestGenerator(fpva, context=ctx).generate().testset
@@ -240,15 +267,14 @@ def cmd_diagnose(args) -> int:
     scenario = get_scenario(args.scenario)
     universe = scenario.universe(fpva)
     t0 = time.perf_counter()
-    dictionary = FaultDictionary(
-        fpva,
+    dictionary = ctx.dictionary(
         suite.all_vectors(),
         universe=universe,
         max_cardinality=args.cardinality,
-        context=ctx,
+        base_digest=args.base_digest,
     )
     print(
-        f"dictionary {'warm-loaded' if dictionary.warm_loaded else 'built'} "
+        f"dictionary {_build_status(dictionary)} "
         f"in {time.perf_counter() - t0:.2f}s "
         f"({dictionary.distinct_syndromes} syndromes)"
     )
@@ -317,20 +343,55 @@ def cmd_warm(args) -> int:
     scenario = get_scenario(args.scenario)
     universe = scenario.universe(fpva)
     t0 = time.perf_counter()
-    dictionary = FaultDictionary(
-        fpva,
+    dictionary = ctx.dictionary(
         suite.all_vectors(),
         universe=universe,
         max_cardinality=args.cardinality,
-        context=ctx,
+        base_digest=args.base_digest,
     )
     print(
         f"dictionary  {dictionary.digest}: "
         f"{dictionary.total_fault_sets} detectable fault sets, "
         f"{dictionary.distinct_syndromes} syndromes "
-        f"({'warm' if dictionary.warm_loaded else 'cold'}, "
+        f"({_build_status(dictionary)}, "
         f"{time.perf_counter() - t0:.2f}s)"
     )
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Artifact-store maintenance (currently: lineage-aware gc)."""
+    if args.quarantine and not args.apply:
+        print("--quarantine requires --apply", file=sys.stderr)
+        return 2
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    report = store.dictionaries.gc(
+        apply=args.apply, quarantine_evidence=args.quarantine
+    )
+    for entry in report["superseded"]:
+        print(
+            f"  superseded {entry['digest']}: cardinality {entry['cardinality']}, "
+            f"{entry['fault_sets']} fault sets, {entry['vectors']} vectors, "
+            f"{entry['bytes']} bytes (subsumed by "
+            f"{', '.join(entry['superseded_by'])})"
+        )
+    verb = {
+        "dry-run": "reclaimable",
+        "removed": "reclaimed",
+        "quarantined": "moved to quarantine",
+    }[report["action"]]
+    print(
+        f"{len(report['superseded'])} superseded, "
+        f"{len(report['kept'])} kept; "
+        f"{report['reclaimable_bytes']} bytes {verb}"
+    )
+    if report["action"] == "dry-run" and report["superseded"]:
+        print(
+            "(dry run; pass --apply to delete, or --apply --quarantine "
+            "to keep the bytes as evidence)"
+        )
     return 0
 
 
@@ -415,12 +476,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="faults injected per chip (dictionary models singles)")
     p.add_argument("--trials", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--cardinality", type=int, choices=(1, 2), default=1,
+    p.add_argument("--cardinality", type=int, choices=(1, 2, 3), default=1,
                    help="max faults per dictionary entry (match the `warm` "
                         "invocation to hit its cached artifact)")
     p.add_argument("--cache-dir", default=None,
                    help="artifact store; warm-starts the fault dictionary "
-                        "when a matching artifact exists (see `warm`)")
+                        "when a matching artifact exists, or delta-builds "
+                        "from the nearest stored ancestor (see `warm`)")
+    p.add_argument("--base-digest", default=None, metavar="DIGEST",
+                   help="pin the incremental build to this stored ancestor "
+                        "artifact instead of auto-resolving the nearest one "
+                        "(still validated; falls back to a cold build when "
+                        "incompatible); requires --cache-dir")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_diagnose)
 
@@ -433,14 +500,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenario", choices=scenario_names(), default="stuck-at",
                    help="fault universe the dictionary is built over "
                         "(must match the later `diagnose` invocation)")
-    p.add_argument("--cardinality", type=int, choices=(1, 2), default=1,
+    p.add_argument("--cardinality", type=int, choices=(1, 2, 3), default=1,
                    help="max faults per dictionary entry (2 streams the "
-                        "quadratic double-fault universe to disk)")
+                        "quadratic double-fault universe to disk; 3 the "
+                        "cubic triple-fault one — prefer promoting an "
+                        "existing cardinality-2 artifact incrementally)")
+    p.add_argument("--base-digest", default=None, metavar="DIGEST",
+                   help="pin the incremental dictionary build to this "
+                        "stored ancestor artifact instead of auto-resolving "
+                        "the nearest one (still validated; falls back to a "
+                        "cold build when incompatible)")
     p.add_argument("--table1", action="store_true",
                    help="instead: prebuild/report the kernel artifacts for "
                         "every Table I generation layout")
     _add_backend_arg(p)
     p.set_defaults(func=cmd_warm)
+
+    p = sub.add_parser("store", help="artifact-store maintenance")
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    g = store_sub.add_parser(
+        "gc",
+        help="collect dictionary artifacts superseded by lineage "
+             "descendants (dry run by default)",
+    )
+    g.add_argument("--cache-dir", required=True,
+                   help="artifact store directory to collect in")
+    g.add_argument("--apply", action="store_true",
+                   help="actually remove the superseded artifacts "
+                        "(default: dry-run report only)")
+    g.add_argument("--quarantine", action="store_true",
+                   help="with --apply: move superseded artifacts into the "
+                        "store's quarantine/ directory instead of deleting "
+                        "them (never delete evidence)")
+    g.set_defaults(func=cmd_store)
 
     p = sub.add_parser(
         "lint",

@@ -145,6 +145,12 @@ class ExecutionContext:
         self.kernel_loads = 0
         #: Corrupt stored kernels this context quarantined and rebuilt.
         self.kernel_heals = 0
+        #: Dictionary builds by mode (see :meth:`dictionary`): tables
+        #: served straight off disk, assembled from a stored ancestor's
+        #: rows, and simulated from scratch, respectively.
+        self.dictionary_warm_loads = 0
+        self.dictionary_delta_builds = 0
+        self.dictionary_cold_builds = 0
         self._simulator: PressureSimulator | None = None
         self._tester: Tester | None = None
         self._evaluators: dict[tuple, BatchEvaluator] = {}
@@ -285,6 +291,50 @@ class ExecutionContext:
         else:
             self._evaluators[key] = self._evaluators.pop(key)
         return evaluator
+
+    def dictionary(
+        self,
+        vectors: Sequence["TestVector"],
+        *,
+        max_cardinality: int = 1,
+        universe: Sequence[Any] | None = None,
+        include_control_leaks: bool = True,
+        base_digest: str | None = None,
+        incremental: bool = True,
+        chunk_size: int | None = None,
+    ) -> Any:
+        """A :class:`~repro.sim.diagnosis.FaultDictionary` on this session.
+
+        The session's kernel, store and engine choice are shared; when a
+        store is configured the dictionary warm-loads, or — failing that —
+        delta-builds from the nearest stored ancestor (same layout and
+        universe, suite/cardinality subsumed), simulating only the new
+        vectors and fault sets.  ``base_digest`` pins the ancestor;
+        ``incremental=False`` forces the pre-lineage cold path.  The
+        session counts each outcome in :attr:`dictionary_warm_loads` /
+        :attr:`dictionary_delta_builds` / :attr:`dictionary_cold_builds`.
+        """
+        from repro.sim.diagnosis import DEFAULT_CHUNK_SIZE, FaultDictionary
+
+        dictionary = FaultDictionary(
+            self.fpva,
+            vectors,
+            include_control_leaks=include_control_leaks,
+            max_cardinality=max_cardinality,
+            universe=universe,
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            context=self,
+            base_digest=base_digest,
+            incremental=incremental,
+        )
+        mode = dictionary.build_stats.get("mode")
+        if mode == "warm":
+            self.dictionary_warm_loads += 1
+        elif mode == "delta":
+            self.dictionary_delta_builds += 1
+        else:
+            self.dictionary_cold_builds += 1
+        return dictionary
 
     def shipping_spec(self) -> tuple[str, object, str | None]:
         """What a shard payload headed to worker processes should carry.

@@ -54,6 +54,12 @@ SHARD_TRIALS = 50
 # repro: ignore[R7] -- deliberate per-process cache: populated only inside a worker, keyed by artifact path, never shared across processes
 _KERNEL_MEMO: dict[str, ReachabilityKernel] = {}
 
+#: Per-process session memo for path-shipped payloads: shards carrying the
+#: same artifact path share one ExecutionContext, so evaluator scenario
+#: pools (and any dictionary warm state) persist across a worker's shards.
+# repro: ignore[R7] -- deliberate per-process cache: populated only inside a worker, keyed by (artifact path, backend tier), never shared across processes
+_CONTEXT_MEMO: dict = {}
+
 
 def _resolve_shipping(fpva, backend: str | None, cache_dir, context):
     """Normalize (legacy kwargs | context) to
@@ -127,20 +133,41 @@ def _resolve_kernel(fpva, kernel):
     return cached.fpva, cached
 
 
-def _run_shard(payload) -> CampaignResult:
-    (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
-     keep_undetected, scenario, backend, kernel, kernel_backend) = payload
-    fpva, kernel = _resolve_kernel(fpva, kernel)
+def _shard_context(fpva, backend, kernel, kernel_backend):
+    """The session a shard runs under, memoized for path-shipped kernels.
+
+    Shards whose payloads name the same persisted kernel artifact share
+    one :class:`~repro.context.ExecutionContext` per worker process, so
+    the session's evaluator scenario pools survive across shards instead
+    of re-deduplicating per task.  Safe for bit-identity: shard results
+    are a pure function of the payload's explicit seed (``run_campaign``
+    never consults the context's own seed).  Object-shipped kernels (no
+    store) arrive as a fresh pickled copy per payload and keep a fresh
+    context, exactly as before.
+    """
     from repro.context import ExecutionContext
 
     if backend == "legacy":
-        shard_context = ExecutionContext(fpva, engine="object")
-    else:
-        shard_context = ExecutionContext(
-            fpva, kernel=kernel, kernel_backend=kernel_backend
-        )
+        return ExecutionContext(fpva, engine="object")
+    if isinstance(kernel, str):
+        key = (kernel, kernel_backend)
+        context = _CONTEXT_MEMO.get(key)
+        if context is None:
+            fpva, resolved = _resolve_kernel(fpva, kernel)
+            context = _CONTEXT_MEMO[key] = ExecutionContext(
+                fpva, kernel=resolved, kernel_backend=kernel_backend
+            )
+        return context
+    fpva, resolved = _resolve_kernel(fpva, kernel)
+    return ExecutionContext(fpva, kernel=resolved, kernel_backend=kernel_backend)
+
+
+def _run_shard(payload) -> CampaignResult:
+    (fpva, vectors, num_faults, trials, shard_seed, include_control_leaks,
+     keep_undetected, scenario, backend, kernel, kernel_backend) = payload
+    shard_context = _shard_context(fpva, backend, kernel, kernel_backend)
     return _run_serial(
-        fpva,
+        shard_context.fpva,
         vectors,
         num_faults=num_faults,
         trials=trials,

@@ -223,6 +223,24 @@ def faults_compatible(faults: Sequence[Fault]) -> bool:
     return len(set(faults)) == len(faults)
 
 
+def compatibility_key(fault: Fault) -> object:
+    """The one array resource :func:`faults_compatible` arbitrates over.
+
+    Every inconsistency that function rejects — stuck-at-0 against
+    stuck-at-1, seat-exclusive stacking, a seat fault on an already-stuck
+    valve, duplicate faults — requires two faults whose keys compare
+    equal, so a set with pairwise-distinct keys is compatible without
+    further inspection.  Enumeration hot loops use this as an exact
+    prefilter and fall back to :func:`faults_compatible` only on key
+    collisions.
+    """
+    if isinstance(fault, (StuckAt0, StuckAt1, IntermittentStuckAt)):
+        return fault.valve
+    if isinstance(fault, _SEAT_EXCLUSIVE):
+        return fault.edge
+    return fault
+
+
 def faulty_valves(faults: Iterable[Fault]) -> set[Edge]:
     """All valves/edges touched by any fault in the set."""
     out: set[Edge] = set()

@@ -41,7 +41,10 @@ from repro.store.digest import (
     digest_int,
     fault_key,
     kernel_digest,
+    layout_digest,
     layout_key,
+    suite_digests,
+    universe_digest,
     vector_key,
 )
 from repro.store.integrity import (
@@ -53,6 +56,13 @@ from repro.store.integrity import (
     verify_file,
 )
 from repro.store.kernels import KernelStore
+from repro.store.lineage import (
+    DeltaPlan,
+    DictionaryInfo,
+    GcPlan,
+    plan_gc,
+    resolve_ancestor,
+)
 
 
 class ArtifactStore:
@@ -77,8 +87,11 @@ def as_store(store: "ArtifactStore | str | os.PathLike | None") -> ArtifactStore
 __all__ = [
     "ArtifactCorruptionError",
     "ArtifactStore",
+    "DeltaPlan",
+    "DictionaryInfo",
     "DictionaryStore",
     "DictionaryWriter",
+    "GcPlan",
     "KernelStore",
     "STORE_FORMAT_VERSION",
     "as_store",
@@ -88,8 +101,13 @@ __all__ = [
     "fault_key",
     "file_checksum",
     "kernel_digest",
+    "layout_digest",
     "layout_key",
+    "plan_gc",
     "quarantine",
     "quarantined_artifacts",
+    "resolve_ancestor",
+    "suite_digests",
+    "universe_digest",
     "vector_key",
 ]

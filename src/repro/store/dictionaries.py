@@ -41,7 +41,7 @@ import shutil
 import zipfile
 from collections import defaultdict
 from pathlib import Path
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -54,6 +54,7 @@ from repro.store.integrity import (
     quarantine,
     verify_file,
 )
+from repro.store.lineage import DictionaryInfo, GcPlan, dictionary_info, plan_gc
 
 #: Encoded rows buffered before a chunk file is flushed to disk.
 CHUNK_ROWS = 16384
@@ -145,6 +146,17 @@ class DictionaryWriter:
         self._chunks = 0
         self._total = 0
         self._committed = False
+
+    def annotate(self, **fields: Any) -> None:
+        """Merge extra metadata fields before :meth:`commit`.
+
+        Incremental builds use this to record their lineage (parent
+        digest + the delta that produced the artifact) once the delta's
+        actual shape — reused rows, simulated columns — is known.
+        """
+        if self._committed:
+            raise RuntimeError("cannot annotate a committed artifact")
+        self._meta.update(fields)
 
     def _write_payload(self, name: str, payload: bytes) -> None:
         """Write one artifact file durably, recording its checksum."""
@@ -318,9 +330,156 @@ class DictionaryStore:
             if meta["cardinality"] == 1:
                 for row, sid in zip(rows, sids):
                     buckets[sid].append((faults[row[0]],))
-            else:
+            elif meta["cardinality"] == 2:
                 for (i, j), sid in zip(rows, sids):
                     buckets[sid].append(
                         (faults[i], faults[j]) if j >= 0 else (faults[i],)
                     )
+            else:
+                # Arbitrary cardinality: strip the -1 padding (trailing by
+                # construction, but filtering is order-preserving either way).
+                for row, sid in zip(rows, sids):
+                    buckets[sid].append(
+                        tuple(faults[i] for i in row if i >= 0)
+                    )
         return table
+
+    # -- lineage-aware access ---------------------------------------------
+    def load_syndromes(self, digest: str) -> list[tuple]:
+        """Just the interned syndrome table of one artifact, verified.
+
+        The incremental build reads an *ancestor's* syndromes (to remap
+        their entries into the target suite's positions) without
+        materializing its full table.
+        """
+        directory = self.path_for(digest)
+        checksums = self.meta(digest).get("checksums") or {}
+        try:
+            return decode_syndromes(
+                json.loads(
+                    verify_file(
+                        directory / "syndromes.json",
+                        checksums.get("syndromes.json"),
+                    )
+                )
+            )
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError) as exc:
+            raise ArtifactCorruptionError(
+                directory / "syndromes.json", f"unparseable payload: {exc}"
+            )
+
+    def iter_rows(self, digest: str) -> Iterator[tuple[tuple[int, ...], int]]:
+        """Stream ``(universe-index tuple, syndrome id)`` rows in append order.
+
+        Padding (-1) is stripped, so rows compare directly against the
+        canonical fault-set enumeration — the merge-walk the incremental
+        build runs against the ancestor artifact.  Verification is lazy
+        per chunk; corruption surfaces as :exc:`ArtifactCorruptionError`
+        mid-iteration and the caller heals + falls back to a cold build.
+        """
+        directory = self.path_for(digest)
+        meta = self.meta(digest)
+        checksums = meta.get("checksums") or {}
+        for chunk in range(meta["chunks"]):
+            name = f"chunk-{chunk:05d}.npz"
+            payload = verify_file(directory / name, checksums.get(name))
+            try:
+                with np.load(io.BytesIO(payload)) as data:
+                    rows = data["sets"].tolist()
+                    sids = data["syndromes"].tolist()
+            except (zipfile.BadZipFile, KeyError, OSError) as exc:
+                raise ArtifactCorruptionError(
+                    directory / name, f"unparseable payload: {exc}"
+                )
+            for row, sid in zip(rows, sids):
+                end = len(row)
+                while end and row[end - 1] < 0:
+                    end -= 1
+                yield tuple(row[:end]), sid
+
+    def catalog(self) -> list[DictionaryInfo]:
+        """Every complete, lineage-bearing artifact in the store.
+
+        Scan-based (the ``meta.json`` completeness markers *are* the
+        index — there is no separate catalog file to corrupt or race).
+        Unreadable or pre-lineage metadata skips the entry rather than
+        failing the scan: reuse and GC simply do not see it.
+        """
+        if not self.root.is_dir():
+            return []
+        infos = []
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or entry.name == "quarantine":
+                continue
+            if ".tmp-" in entry.name:
+                continue
+            try:
+                meta = load_json(entry / "meta.json")
+            except (FileNotFoundError, ArtifactCorruptionError):
+                continue
+            size = sum(
+                f.stat().st_size for f in entry.iterdir() if f.is_file()
+            )
+            info = dictionary_info(entry.name, meta, bytes_on_disk=size)
+            if info is not None:
+                infos.append(info)
+        return infos
+
+    def gc(
+        self, apply: bool = False, quarantine_evidence: bool = False
+    ) -> dict:
+        """List (and optionally remove) superseded ancestor dictionaries.
+
+        An artifact is superseded when it is the recorded lineage parent
+        of another *stored* artifact: the child is complete and carries a
+        superset of its information, so nothing — warm loads included —
+        is lost by dropping the parent (only a ``base_digest`` pinned to
+        it would fall back to a cold build).  Lineage tips and artifacts
+        without lineage metadata are never touched.
+
+        ``apply=False`` (the default) is a dry run.  With ``apply=True``
+        superseded artifacts are deleted — unless ``quarantine_evidence``
+        moves them into the store's ``quarantine/`` directory instead
+        (the never-delete-evidence option, same protocol corruption
+        uses), where loads no longer address them but the operator keeps
+        the bytes.
+        """
+        plan: GcPlan = plan_gc(self)
+        removed: list[str] = []
+        for info in plan.superseded:
+            if not apply:
+                continue
+            path = self.path_for(info.digest)
+            if not (path / "meta.json").exists():
+                continue  # a concurrent gc (or heal) got here first
+            if quarantine_evidence:
+                reason = "superseded by lineage descendants: " + ", ".join(
+                    plan.children.get(info.digest, ())
+                )
+                if quarantine(self.root, path, reason) is not None:
+                    removed.append(info.digest)
+            else:
+                shutil.rmtree(path)
+                removed.append(info.digest)
+        if removed:
+            fsync_dir(self.root)
+        action = "dry-run"
+        if apply:
+            action = "quarantined" if quarantine_evidence else "removed"
+        return {
+            "action": action,
+            "superseded": [
+                {
+                    "digest": i.digest,
+                    "cardinality": i.cardinality,
+                    "fault_sets": i.fault_sets,
+                    "vectors": len(i.suite),
+                    "bytes": i.bytes_on_disk,
+                    "superseded_by": list(plan.children.get(i.digest, ())),
+                }
+                for i in plan.superseded
+            ],
+            "kept": [i.digest for i in plan.kept],
+            "reclaimable_bytes": plan.reclaimable_bytes,
+            "removed": removed,
+        }

@@ -168,6 +168,42 @@ def shard_digest(key: tuple, num_faults: int, shard: int, trials: int) -> str:
     return digest_of("shard", key, int(num_faults), int(shard), int(trials))
 
 
+def layout_digest(fpva: FPVA) -> str:
+    """Structural identity of one array as a standalone digest.
+
+    Recorded in dictionary lineage metadata so ancestor resolution can
+    compare layouts across stored artifacts without re-deriving (or even
+    having) the arrays they were built from.
+    """
+    return digest_of("layout", STORE_FORMAT_VERSION, layout_key(fpva))
+
+
+def universe_digest(universe: Iterable[Fault]) -> str:
+    """Identity of one *ordered* fault universe as a standalone digest.
+
+    Order-sensitive for the same reason :func:`dictionary_digest` is:
+    stored fault sets are universe indices, so two artifacts are
+    row-compatible only when their universes match element for element.
+    """
+    return digest_of(
+        "universe", STORE_FORMAT_VERSION, [fault_key(f) for f in universe]
+    )
+
+
+def suite_digests(vectors: Sequence[TestVector]) -> list[str]:
+    """Per-vector content digests, in suite order.
+
+    The unit of dictionary reuse: a stored artifact whose vector-digest
+    *set* is a subset of a new suite's already holds every one of that
+    suite's columns for those vectors (syndromes are per-vector readings),
+    whatever order either suite lists them in.
+    """
+    return [
+        digest_of("vector", STORE_FORMAT_VERSION, vector_key(v))
+        for v in vectors
+    ]
+
+
 def dictionary_digest(
     fpva: FPVA,
     vectors: Sequence[TestVector],

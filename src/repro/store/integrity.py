@@ -83,25 +83,62 @@ def file_checksum(path: str | os.PathLike) -> str:
     return digest.hexdigest()
 
 
+#: Per-process memo of payloads that already verified clean: path ->
+#: (expected checksum, size, mtime_ns, inode) captured from the very file
+#: descriptor the clean bytes were read through.  Published artifacts are
+#: immutable (atomic replace swaps the whole inode), so a later read of
+#: the same path whose fstat signature still matches is the same bytes —
+#: warm-session consumers that touch one chunk many times pay BLAKE2b
+#: once, not per load.  Verification stays lazy and a *changed* file
+#: (heal, republish, corruption injected via a fresh write) changes its
+#: signature and re-verifies; the one hole — an in-place bit flip that
+#: leaves size+mtime+inode intact within a single process's lifetime —
+#: is caught by the next process, exactly the window the pre-cache code
+#: had between its own read and parse.
+# repro: ignore[R7] -- deliberate per-process cache of verified payload digests, keyed by path + fstat identity; bounded FIFO, never shared across processes
+_VERIFIED: dict[str, tuple[str, int, int, int]] = {}
+
+#: FIFO bound on the verified-payload memo (a 20x20 card-2 dictionary is
+#: a few hundred chunks; 4096 entries covers many warm sessions).
+_VERIFIED_LIMIT = 4096
+
+
+def _reset_verified_cache() -> None:
+    """Drop the per-process verified-payload memo (test hook)."""
+    _VERIFIED.clear()
+
+
 def verify_file(path: str | os.PathLike, expected: str | None) -> bytes:
     """Read ``path`` fully, verifying its checksum on the way.
 
     Returns the verified bytes (so callers parse exactly what was
     hashed — no read-verify-reread race).  ``expected=None`` marks a
     legacy artifact published before checksums existed: it loads
-    unverified, exactly as it always did.
+    unverified, exactly as it always did.  Repeat reads of a payload this
+    process already verified skip the hash when the file's fstat
+    signature is unchanged (see ``_VERIFIED``); a mismatch always raises
+    and never caches.
     """
     try:
         with open(path, "rb") as fh:
+            stat = os.fstat(fh.fileno())
             payload = fh.read()
     except FileNotFoundError:
         raise ArtifactCorruptionError(path, "payload file is missing") from None
-    if expected is not None:
-        actual = data_checksum(payload)
-        if actual != expected:
-            raise ArtifactCorruptionError(
-                path, f"checksum mismatch (expected {expected}, got {actual})"
-            )
+    if expected is None:
+        return payload
+    key = str(path)
+    signature = (expected, stat.st_size, stat.st_mtime_ns, stat.st_ino)
+    if _VERIFIED.get(key) == signature and len(payload) == stat.st_size:
+        return payload
+    actual = data_checksum(payload)
+    if actual != expected:
+        raise ArtifactCorruptionError(
+            path, f"checksum mismatch (expected {expected}, got {actual})"
+        )
+    while len(_VERIFIED) >= _VERIFIED_LIMIT:
+        _VERIFIED.pop(next(iter(_VERIFIED)))
+    _VERIFIED[key] = signature
     return payload
 
 
